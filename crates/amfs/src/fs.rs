@@ -1,0 +1,448 @@
+//! The AMFS file system: per-node stores, local writes, replicate-on-read.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use memfs_memkv::{KvError, Store};
+
+use crate::meta::{data_key, meta_key, skewed_metadata_server, MetaRecord};
+
+/// AMFS error type.
+#[derive(Debug)]
+pub enum AmfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (AMFS shares MemFS' write-once discipline).
+    AlreadyExists(String),
+    /// Opening a file whose writer has not closed it yet.
+    NotFinalized(String),
+    /// A node's memory filled up — AMFS' characteristic failure: the
+    /// paper's "scheduler node crashes when trying to accumulate large
+    /// amounts of data that do not fit in its main memory" (§4.2.1).
+    NodeOutOfMemory {
+        /// The node that overflowed.
+        node: usize,
+        /// The underlying store error.
+        source: KvError,
+    },
+    /// Any other storage-layer failure.
+    Storage(KvError),
+}
+
+impl fmt::Display for AmfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmfsError::NotFound(p) => write!(f, "{p}: no such file"),
+            AmfsError::AlreadyExists(p) => write!(f, "{p}: already exists"),
+            AmfsError::NotFinalized(p) => write!(f, "{p}: still being written"),
+            AmfsError::NodeOutOfMemory { node, source } => {
+                write!(f, "node {node} out of memory: {source}")
+            }
+            AmfsError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AmfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AmfsError::NodeOutOfMemory { source, .. } => Some(source),
+            AmfsError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias.
+pub type AmfsResult<T> = Result<T, AmfsError>;
+
+struct ClusterInner {
+    /// One in-memory store per node. Data lives wholly on single nodes —
+    /// AMFS does not stripe.
+    nodes: Vec<Arc<Store>>,
+}
+
+/// A shared AMFS cluster: per-node stores plus hashed metadata placement.
+#[derive(Clone)]
+pub struct AmfsCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl AmfsCluster {
+    /// Build a cluster from per-node stores.
+    ///
+    /// # Panics
+    /// Panics on an empty node list.
+    pub fn new(nodes: Vec<Arc<Store>>) -> Self {
+        assert!(!nodes.is_empty(), "AMFS needs at least one node");
+        AmfsCluster {
+            inner: Arc::new(ClusterInner { nodes }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// The store of node `i` (for memory inspection in experiments).
+    pub fn node_store(&self, i: usize) -> &Arc<Store> {
+        &self.inner.nodes[i]
+    }
+
+    /// The mount view from node `node`.
+    pub fn node(&self, node: usize) -> AmfsNode {
+        assert!(node < self.n_nodes(), "node {node} out of range");
+        AmfsNode {
+            cluster: self.clone(),
+            node,
+        }
+    }
+
+    /// Per-node bytes used (the Figure 9 / Table 3 measurement).
+    pub fn memory_per_node(&self) -> Vec<u64> {
+        self.inner.nodes.iter().map(|s| s.bytes_used()).collect()
+    }
+
+    fn meta_store(&self, path: &str) -> &Arc<Store> {
+        &self.inner.nodes[skewed_metadata_server(path, self.n_nodes())]
+    }
+
+    /// Look up a file's metadata record.
+    pub fn lookup(&self, path: &str) -> AmfsResult<MetaRecord> {
+        match self.meta_store(path).get(&meta_key(path)) {
+            Ok(raw) => MetaRecord::decode(&raw)
+                .map_err(|_| AmfsError::Storage(KvError::Protocol("bad meta record".into()))),
+            Err(KvError::NotFound) => Err(AmfsError::NotFound(path.to_string())),
+            Err(e) => Err(AmfsError::Storage(e)),
+        }
+    }
+
+    /// The node holding the authoritative copy of `path` — the locality
+    /// hint the AMFS Shell scheduler uses for task placement.
+    pub fn locality_hint(&self, path: &str) -> Option<usize> {
+        self.lookup(path).ok().map(|r| r.owner)
+    }
+}
+
+/// AMFS as seen from one compute node.
+#[derive(Clone)]
+pub struct AmfsNode {
+    cluster: AmfsCluster,
+    node: usize,
+}
+
+impl AmfsNode {
+    /// This view's node id.
+    pub fn node_id(&self) -> usize {
+        self.node
+    }
+
+    /// The cluster this node belongs to.
+    pub fn cluster(&self) -> &AmfsCluster {
+        &self.cluster
+    }
+
+    fn local_store(&self) -> &Arc<Store> {
+        &self.cluster.inner.nodes[self.node]
+    }
+
+    fn oom(&self, node: usize, e: KvError) -> AmfsError {
+        match e {
+            KvError::OutOfMemory { .. } => AmfsError::NodeOutOfMemory { node, source: e },
+            other => AmfsError::Storage(other),
+        }
+    }
+
+    /// Create `path` for writing. The data will live wholly in this
+    /// node's memory (AMFS' local-write policy).
+    pub fn create(&self, path: &str) -> AmfsResult<AmfsWriteHandle> {
+        let meta = MetaRecord {
+            owner: self.node,
+            size: None,
+        };
+        match self
+            .cluster
+            .meta_store(path)
+            .add(&meta_key(path), Bytes::from(meta.encode()))
+        {
+            Ok(()) => {}
+            Err(KvError::Exists) => return Err(AmfsError::AlreadyExists(path.to_string())),
+            Err(e) => return Err(self.oom(skewed_metadata_server(path, self.cluster.n_nodes()), e)),
+        }
+        Ok(AmfsWriteHandle {
+            node: self.clone(),
+            path: path.to_string(),
+            buf: BytesMut::new(),
+            closed: false,
+        })
+    }
+
+    /// Convenience: write a whole file.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> AmfsResult<()> {
+        let mut w = self.create(path)?;
+        w.write(data);
+        w.close()
+    }
+
+    /// Read `path` from this node. A local hit reads from this node's
+    /// memory; a remote file is fetched whole from its owner **and
+    /// replicated locally** — AMFS' replicate-on-read policy, which makes
+    /// the next read local but permanently charges this node's memory.
+    pub fn read(&self, path: &str) -> AmfsResult<Bytes> {
+        let meta = self.cluster.lookup(path)?;
+        if meta.size.is_none() {
+            return Err(AmfsError::NotFinalized(path.to_string()));
+        }
+        let key = data_key(path);
+        // Local copy (authoritative or replica)?
+        match self.local_store().get(&key) {
+            Ok(data) => return Ok(data),
+            Err(KvError::NotFound) => {}
+            Err(e) => return Err(AmfsError::Storage(e)),
+        }
+        // Remote read from the owner...
+        let data = self.cluster.inner.nodes[meta.owner]
+            .get(&key)
+            .map_err(AmfsError::Storage)?;
+        // ...then replicate-on-read into local memory. If this node is
+        // full, the read itself fails — AMFS' crash mode.
+        self.local_store()
+            .set(&key, data.clone())
+            .map_err(|e| self.oom(self.node, e))?;
+        Ok(data)
+    }
+
+    /// Whether this node currently holds a copy of `path`.
+    pub fn has_local_copy(&self, path: &str) -> bool {
+        self.local_store().contains(&data_key(path))
+    }
+
+    /// Multicast `path` to every node (the N-1 read preparation of the
+    /// paper's §4.1). See [`crate::multicast`] for the tree construction.
+    pub fn multicast(&self, path: &str) -> AmfsResult<()> {
+        let meta = self.cluster.lookup(path)?;
+        if meta.size.is_none() {
+            return Err(AmfsError::NotFinalized(path.to_string()));
+        }
+        let key = data_key(path);
+        let data = self.cluster.inner.nodes[meta.owner]
+            .get(&key)
+            .map_err(AmfsError::Storage)?;
+        for (i, store) in self.cluster.inner.nodes.iter().enumerate() {
+            if i == meta.owner {
+                continue;
+            }
+            if !store.contains(&key) {
+                store.set(&key, data.clone()).map_err(|e| self.oom(i, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// File size, if finalized.
+    pub fn stat(&self, path: &str) -> AmfsResult<u64> {
+        match self.cluster.lookup(path)?.size {
+            Some(s) => Ok(s),
+            None => Err(AmfsError::NotFinalized(path.to_string())),
+        }
+    }
+
+    /// Delete `path` everywhere: authoritative copy, replicas, metadata.
+    pub fn unlink(&self, path: &str) -> AmfsResult<()> {
+        let meta = self.cluster.lookup(path)?;
+        let key = data_key(path);
+        for store in &self.cluster.inner.nodes {
+            let _ = store.delete(&key);
+        }
+        let _ = meta;
+        self.cluster
+            .meta_store(path)
+            .delete(&meta_key(path))
+            .map_err(AmfsError::Storage)?;
+        Ok(())
+    }
+}
+
+/// A write handle buffering the whole file locally — AMFS works in whole
+/// files ("AMFS assumes that files fit in a node's memory").
+pub struct AmfsWriteHandle {
+    node: AmfsNode,
+    path: String,
+    buf: BytesMut,
+    closed: bool,
+}
+
+impl AmfsWriteHandle {
+    /// Append data.
+    pub fn write(&mut self, data: &[u8]) {
+        assert!(!self.closed, "write after close");
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered so far.
+    pub fn written(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Store the file locally and finalize the metadata record.
+    pub fn close(&mut self) -> AmfsResult<()> {
+        assert!(!self.closed, "double close");
+        self.closed = true;
+        let data = std::mem::take(&mut self.buf).freeze();
+        let size = data.len() as u64;
+        self.node
+            .local_store()
+            .set(&data_key(&self.path), data)
+            .map_err(|e| self.node.oom(self.node.node, e))?;
+        let meta = MetaRecord {
+            owner: self.node.node,
+            size: Some(size),
+        };
+        self.node
+            .cluster
+            .meta_store(&self.path)
+            .set(&meta_key(&self.path), Bytes::from(meta.encode()))
+            .map_err(AmfsError::Storage)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfs_memkv::StoreConfig;
+
+    fn cluster(n: usize, budget: u64) -> AmfsCluster {
+        let nodes = (0..n)
+            .map(|_| {
+                Arc::new(Store::new(StoreConfig {
+                    memory_budget: budget,
+                    ..StoreConfig::default()
+                }))
+            })
+            .collect();
+        AmfsCluster::new(nodes)
+    }
+
+    #[test]
+    fn local_write_then_local_read() {
+        let c = cluster(4, 1 << 30);
+        let n0 = c.node(0);
+        n0.write_file("/f", b"payload").unwrap();
+        assert_eq!(n0.read("/f").unwrap().as_ref(), b"payload");
+        assert!(n0.has_local_copy("/f"));
+        // Data lives only on node 0.
+        for i in 1..4 {
+            assert!(!c.node(i).has_local_copy("/f"));
+        }
+    }
+
+    #[test]
+    fn remote_read_replicates() {
+        let c = cluster(4, 1 << 30);
+        c.node(0).write_file("/f", b"remote data").unwrap();
+        let n2 = c.node(2);
+        assert_eq!(n2.read("/f").unwrap().as_ref(), b"remote data");
+        // Replicate-on-read: node 2 now has a copy too.
+        assert!(n2.has_local_copy("/f"));
+        assert!(c.node(0).has_local_copy("/f"));
+        assert!(!c.node(1).has_local_copy("/f"));
+    }
+
+    #[test]
+    fn replication_inflates_aggregate_memory() {
+        // The Figure 9 phenomenon in miniature: N readers => N copies.
+        let c = cluster(8, 1 << 30);
+        c.node(0).write_file("/f", &vec![7u8; 10_000]).unwrap();
+        let single = c.memory_per_node().iter().sum::<u64>();
+        for i in 1..8 {
+            c.node(i).read("/f").unwrap();
+        }
+        let replicated = c.memory_per_node().iter().sum::<u64>();
+        assert!(
+            replicated > single * 7,
+            "8 copies should use ~8x the memory: {single} -> {replicated}"
+        );
+    }
+
+    #[test]
+    fn full_reader_node_fails_like_the_paper() {
+        // Node 1's memory is too small to replicate the file: the read
+        // fails with NodeOutOfMemory — AMFS' aggregation-crash mode.
+        let nodes = vec![
+            Arc::new(Store::new(StoreConfig::default())),
+            Arc::new(Store::new(StoreConfig {
+                memory_budget: 1_000,
+                ..StoreConfig::default()
+            })),
+        ];
+        let c = AmfsCluster::new(nodes);
+        c.node(0).write_file("/big", &vec![0u8; 100_000]).unwrap();
+        let err = c.node(1).read("/big").unwrap_err();
+        assert!(matches!(err, AmfsError::NodeOutOfMemory { node: 1, .. }));
+    }
+
+    #[test]
+    fn multicast_copies_to_all_nodes() {
+        let c = cluster(6, 1 << 30);
+        c.node(3).write_file("/q", b"query file").unwrap();
+        c.node(0).multicast("/q").unwrap();
+        for i in 0..6 {
+            assert!(c.node(i).has_local_copy("/q"), "node {i} missing copy");
+            assert_eq!(c.node(i).read("/q").unwrap().as_ref(), b"query file");
+        }
+    }
+
+    #[test]
+    fn locality_hint_points_at_owner() {
+        let c = cluster(4, 1 << 30);
+        c.node(2).write_file("/owned", b"x").unwrap();
+        assert_eq!(c.locality_hint("/owned"), Some(2));
+        assert_eq!(c.locality_hint("/nope"), None);
+    }
+
+    #[test]
+    fn write_once_and_not_finalized() {
+        let c = cluster(2, 1 << 30);
+        let n = c.node(0);
+        let mut w = n.create("/f").unwrap();
+        w.write(b"abc");
+        assert!(matches!(n.read("/f"), Err(AmfsError::NotFinalized(_))));
+        assert!(matches!(n.create("/f"), Err(AmfsError::AlreadyExists(_))));
+        w.close().unwrap();
+        assert_eq!(n.stat("/f").unwrap(), 3);
+    }
+
+    #[test]
+    fn unlink_removes_all_copies() {
+        let c = cluster(3, 1 << 30);
+        c.node(0).write_file("/f", b"data").unwrap();
+        c.node(1).read("/f").unwrap(); // replica on node 1
+        c.node(2).unlink("/f").unwrap();
+        for i in 0..3 {
+            assert!(!c.node(i).has_local_copy("/f"));
+        }
+        assert!(matches!(c.node(0).read("/f"), Err(AmfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn metadata_is_spread_by_name_hash() {
+        let c = cluster(4, 1 << 30);
+        for i in 0..40 {
+            c.node(0).write_file(&format!("/meta{i}"), b"x").unwrap();
+        }
+        // Data is all on node 0, but metadata keys should appear on
+        // multiple nodes.
+        let meta_nodes = (0..4)
+            .filter(|&i| {
+                c.node_store(i)
+                    .keys()
+                    .iter()
+                    .any(|k| k.starts_with(b"am:"))
+            })
+            .count();
+        assert!(meta_nodes >= 2, "metadata concentrated on {meta_nodes} node(s)");
+    }
+}

@@ -1,0 +1,35 @@
+//! # memfs-amfs
+//!
+//! A from-scratch implementation of **AMFS**, the state-of-the-art
+//! locality-based in-memory runtime file system the paper compares MemFS
+//! against (Zhang et al., "Parallelizing the execution of sequential
+//! scripts", SC 2013 — reference \[2\] of the paper).
+//!
+//! AMFS' design, as characterized by the MemFS paper:
+//!
+//! * **local-only writes** — a file lives wholly in the memory of the node
+//!   that wrote it ("to improve write performance, the file system issues
+//!   only local writes");
+//! * **locality-aware scheduling** — the AMFS Shell scheduler moves tasks
+//!   to the node holding their (first) input file; only one file per task
+//!   can be guaranteed local;
+//! * **replicate-on-read** — reading a remote file copies it whole into
+//!   the reader's memory, so later local reads are fast but memory
+//!   consumption grows with every remote read (the paper's Figure 9 /
+//!   Table 3 imbalance, and the reason AMFS cannot run Montage 12x12);
+//! * **software multicast** for N-1 reads (one file to all nodes);
+//! * **per-file-name hashed metadata** whose distribution "is not
+//!   uniform" (the non-linear `create` scalability of Figure 6);
+//! * **whole files, no striping** — "AMFS assumes that files fit in a
+//!   node's memory".
+//!
+//! Like `memfs-core`, this is a real, thread-safe, in-process
+//! implementation; the cluster-scale behaviour is additionally modelled
+//! analytically in `memfs-mtc` for the paper's 64-node experiments.
+
+pub mod fs;
+pub mod meta;
+pub mod multicast;
+
+pub use fs::{AmfsCluster, AmfsError, AmfsNode, AmfsResult};
+pub use meta::skewed_metadata_server;

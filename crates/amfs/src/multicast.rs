@@ -1,0 +1,127 @@
+//! Software multicast tree construction.
+//!
+//! AMFS Shell implements N-1 reads by multicasting the file from its owner
+//! to every node before the tasks read it locally. The classic
+//! implementation is a **binomial tree**: in each round every node that
+//! already holds the data forwards it to one node that does not, so N
+//! nodes are covered in ⌈log2 N⌉ rounds.
+//!
+//! This module computes the tree and its timing model; the in-process AMFS
+//! implementation uses the flat copy loop (timing is irrelevant there),
+//! while the cluster simulator in `memfs-mtc` uses [`multicast_rounds`]
+//! to charge the right latency/bandwidth cost — the paper's observation
+//! that "multicast performance is determined by latency, bandwidth and
+//! file size at a certain scale" falls straight out of this model.
+
+/// One transfer edge of the multicast tree: `(source, destination)`.
+pub type Edge = (usize, usize);
+
+/// The binomial multicast schedule from `root` over `n` nodes: a list of
+/// rounds, each round a set of parallel transfers.
+///
+/// Nodes are identified by their index in `0..n`; the schedule is
+/// expressed in ranks relative to the root (rank 0 = root) and mapped back
+/// to absolute ids.
+///
+/// # Panics
+/// Panics if `n == 0` or `root >= n`.
+pub fn multicast_rounds(root: usize, n: usize) -> Vec<Vec<Edge>> {
+    assert!(n > 0, "multicast over zero nodes");
+    assert!(root < n, "root {root} out of range");
+    let to_abs = |rank: usize| (root + rank) % n;
+    let mut rounds = Vec::new();
+    let mut covered = 1usize; // ranks [0, covered) hold the data
+    while covered < n {
+        let mut round = Vec::new();
+        // Every covered rank r sends to rank r + covered, if it exists.
+        for r in 0..covered {
+            let dst = r + covered;
+            if dst < n {
+                round.push((to_abs(r), to_abs(dst)));
+            }
+        }
+        covered = (covered * 2).min(n);
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Time to multicast `bytes` to `n` nodes, given per-round cost
+/// `latency + bytes / bandwidth` (every round's transfers run in
+/// parallel on disjoint node pairs).
+pub fn multicast_time_secs(n: usize, bytes: u64, bandwidth: f64, latency: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let rounds = (n as f64).log2().ceil();
+    rounds * (latency + bytes as f64 / bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn covered_nodes(root: usize, n: usize) -> HashSet<usize> {
+        let mut have: HashSet<usize> = HashSet::from([root]);
+        for round in multicast_rounds(root, n) {
+            let snapshot = have.clone();
+            for (src, dst) in round {
+                assert!(snapshot.contains(&src), "round uses node {src} before it has data");
+                have.insert(dst);
+            }
+        }
+        have
+    }
+
+    #[test]
+    fn covers_every_node_from_any_root() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64] {
+            for root in [0, n / 2, n - 1] {
+                let have = covered_nodes(root, n);
+                assert_eq!(have.len(), n, "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_log2() {
+        assert_eq!(multicast_rounds(0, 1).len(), 0);
+        assert_eq!(multicast_rounds(0, 2).len(), 1);
+        assert_eq!(multicast_rounds(0, 8).len(), 3);
+        assert_eq!(multicast_rounds(0, 9).len(), 4);
+        assert_eq!(multicast_rounds(0, 64).len(), 6);
+    }
+
+    #[test]
+    fn senders_are_disjoint_within_a_round() {
+        for round in multicast_rounds(0, 64) {
+            let mut senders = HashSet::new();
+            let mut receivers = HashSet::new();
+            for (s, d) in round {
+                assert!(senders.insert(s), "node {s} sends twice in one round");
+                assert!(receivers.insert(d), "node {d} receives twice in one round");
+            }
+        }
+    }
+
+    #[test]
+    fn each_node_receives_exactly_once() {
+        let mut recv_count = [0usize; 17];
+        for round in multicast_rounds(5, 17) {
+            for (_, d) in round {
+                recv_count[d] += 1;
+            }
+        }
+        recv_count[5] = 1; // root "receives" at creation
+        assert!(recv_count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn timing_model_scales_logarithmically() {
+        let t8 = multicast_time_secs(8, 1_000_000, 1e9, 50e-6);
+        let t64 = multicast_time_secs(64, 1_000_000, 1e9, 50e-6);
+        assert!((t64 / t8 - 2.0).abs() < 1e-9); // 6 rounds vs 3 rounds
+        assert_eq!(multicast_time_secs(1, 1_000_000, 1e9, 50e-6), 0.0);
+    }
+}

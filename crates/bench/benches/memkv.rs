@@ -1,0 +1,98 @@
+//! Store-engine microbenchmarks: the set/get asymmetry the paper leans on
+//! ("Memcached is reported to perform better for get rather than set",
+//! §4.1), atomic append (the directory-metadata primitive), and the cost
+//! of LRU eviction.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memfs_memkv::{EvictionPolicy, Store, StoreConfig};
+
+fn bench_set_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    for size in [1usize << 10, 512 << 10] {
+        let payload = Bytes::from(vec![0xABu8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("set", size), &payload, |b, payload| {
+            let store = Store::with_defaults();
+            let mut i = 0u64;
+            b.iter(|| {
+                // Overwrite a rotating window of keys so memory stays flat.
+                let key = format!("bench/{}", i % 64);
+                i += 1;
+                store.set(key.as_bytes(), payload.clone()).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("get", size), &payload, |b, payload| {
+            let store = Store::with_defaults();
+            store.set(b"bench/key", payload.clone()).unwrap();
+            b.iter(|| black_box(store.get(b"bench/key").unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_append(c: &mut Criterion) {
+    c.bench_function("store_append_dir_record", |b| {
+        let store = Store::with_defaults();
+        store.set(b"d:/dir", Bytes::new()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let rec = format!("Ffile{i}\n");
+            i += 1;
+            store.append(b"d:/dir", rec.as_bytes()).unwrap();
+            // Reset occasionally so the value doesn't grow unboundedly.
+            if i.is_multiple_of(4096) {
+                store.set(b"d:/dir", Bytes::new()).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_eviction(c: &mut Criterion) {
+    c.bench_function("store_set_with_lru_eviction", |b| {
+        let store = Arc::new(Store::new(StoreConfig {
+            memory_budget: 1 << 20, // 1 MiB: every set evicts
+            eviction: EvictionPolicy::Lru,
+            ..StoreConfig::default()
+        }));
+        let payload = Bytes::from(vec![0u8; 64 << 10]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("evict/{i}");
+            i += 1;
+            store.set(key.as_bytes(), payload.clone()).unwrap();
+        })
+    });
+}
+
+fn bench_concurrent_get(c: &mut Criterion) {
+    c.bench_function("store_get_8_threads", |b| {
+        let store = Arc::new(Store::with_defaults());
+        for i in 0..64 {
+            store
+                .set(format!("k{i}").as_bytes(), Bytes::from(vec![0u8; 4096]))
+                .unwrap();
+        }
+        b.iter(|| {
+            let threads: Vec<_> = (0..8)
+                .map(|t| {
+                    let store = Arc::clone(&store);
+                    std::thread::spawn(move || {
+                        for i in 0..64 {
+                            let key = format!("k{}", (t * 13 + i) % 64);
+                            black_box(store.get(key.as_bytes()).unwrap());
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_set_get, bench_append, bench_eviction, bench_concurrent_get);
+criterion_main!(benches);

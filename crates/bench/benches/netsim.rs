@@ -1,0 +1,65 @@
+//! Simulator-kernel benchmarks: the max-min solver (flat vs grouped — the
+//! optimization that makes 1024-core workflow simulation tractable) and
+//! the flow-engine event loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use memfs_netsim::maxmin::{maxmin_rates, maxmin_rates_grouped};
+use memfs_netsim::{Fabric, FlowNet, NodeId};
+use memfs_simcore::{SimDuration, SimTime};
+
+/// Constraint capacities, per-flow routes, and grouped routes.
+type Instance = (Vec<f64>, Vec<Vec<usize>>, Vec<(Vec<usize>, u64)>);
+
+/// A symmetric striped workload: every node has one read and one write
+/// flow group; the flat instance expands each group to `per_node` flows.
+fn instance(nodes: usize, per_node: u64) -> Instance {
+    let fabric = Fabric::new(nodes, 1e9, 1e10).with_aggregate_capacity();
+    let caps = fabric.capacities();
+    let mut flat = Vec::new();
+    let mut grouped = Vec::new();
+    for n in 0..nodes {
+        let read = fabric.route_striped_read(NodeId(n));
+        let write = fabric.route_striped_write(NodeId(n));
+        for _ in 0..per_node {
+            flat.push(read.clone());
+            flat.push(write.clone());
+        }
+        grouped.push((read, per_node));
+        grouped.push((write, per_node));
+    }
+    (caps, flat, grouped)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_solver");
+    for (nodes, per_node) in [(16usize, 8u64), (64, 8), (64, 16)] {
+        let (caps, flat, grouped) = instance(nodes, per_node);
+        group.bench_with_input(
+            BenchmarkId::new("flat", format!("{nodes}x{per_node}")),
+            &(),
+            |b, _| b.iter(|| black_box(maxmin_rates(&caps, &flat))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grouped", format!("{nodes}x{per_node}")),
+            &(),
+            |b, _| b.iter(|| black_box(maxmin_rates_grouped(&caps, &grouped))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    c.bench_function("flownet_512_flow_churn", |b| {
+        b.iter(|| {
+            let fabric = Fabric::new(64, 1e9, 1e10).with_aggregate_capacity();
+            let mut net = FlowNet::new(fabric, SimDuration::from_micros(30));
+            for i in 0..512usize {
+                net.start_striped_read(SimTime::ZERO, NodeId(i % 64), 4 << 20);
+            }
+            black_box(net.run_to_idle().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_maxmin, bench_flownet);
+criterion_main!(benches);

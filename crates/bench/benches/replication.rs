@@ -1,0 +1,78 @@
+//! Replication-cost ablation (paper §3.2.5): "assuming the replication
+//! factor is n, then the total storage capacity of MemFS would be
+//! decreased n times and n times more data will flow through the network
+//! when writing files." This bench measures the write-path cost of
+//! r = 1..3 through the real engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memfs_core::{MemFs, MemFsConfig};
+use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+
+fn servers(n: usize) -> Vec<Arc<dyn KvClient>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                as Arc<dyn KvClient>
+        })
+        .collect()
+}
+
+fn bench_replicated_write(c: &mut Criterion) {
+    let file_bytes = 8 << 20;
+    let payload = vec![0x3Cu8; 1 << 20];
+    let mut group = c.benchmark_group("replicated_write");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(file_bytes as u64));
+    for r in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut run = 0u32;
+            b.iter(|| {
+                let fs = MemFs::new(
+                    servers(4),
+                    MemFsConfig::default().with_replication(r),
+                )
+                .unwrap();
+                let path = format!("/rep{run}");
+                run += 1;
+                let mut w = fs.create(&path).unwrap();
+                for _ in 0..(file_bytes >> 20) {
+                    w.write_all(&payload).unwrap();
+                }
+                w.close().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replicated_read(c: &mut Criterion) {
+    let file_bytes: usize = 8 << 20;
+    let mut group = c.benchmark_group("replicated_read");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(file_bytes as u64));
+    for r in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let fs = MemFs::new(
+                servers(4),
+                MemFsConfig::default().with_replication(r),
+            )
+            .unwrap();
+            fs.write_file("/f", &vec![0u8; file_bytes]).unwrap();
+            let mut buf = vec![0u8; 1 << 20];
+            b.iter(|| {
+                let reader = fs.open("/f").unwrap();
+                let mut off = 0u64;
+                while off < file_bytes as u64 {
+                    off += reader.read_at(off, &mut buf).unwrap() as u64;
+                }
+                off
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replicated_write, bench_replicated_read);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Striping ablation (DESIGN.md §6 / paper Figure 3a): stripe-layout
+//! planning cost and end-to-end write/read bandwidth of the real engine
+//! as a function of stripe size.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memfs_core::layout::StripeLayout;
+use memfs_core::{MemFs, MemFsConfig};
+use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+
+fn bench_layout_planning(c: &mut Criterion) {
+    let layout = StripeLayout::new(512 << 10);
+    c.bench_function("layout_spans_small_read", |b| {
+        b.iter(|| black_box(layout.spans(1 << 30, 123_456_789, 4096)))
+    });
+    c.bench_function("layout_spans_large_read", |b| {
+        b.iter(|| black_box(layout.spans(1 << 30, 0, 64 << 20)))
+    });
+}
+
+fn servers(n: usize) -> Vec<Arc<dyn KvClient>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                as Arc<dyn KvClient>
+        })
+        .collect()
+}
+
+fn bench_write_read(c: &mut Criterion) {
+    let file_bytes = 16 << 20;
+    let mut group = c.benchmark_group("real_engine_stripe_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(file_bytes as u64));
+    for stripe_kib in [128usize, 512, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("write", stripe_kib),
+            &stripe_kib,
+            |b, &kib| {
+                let payload = vec![0x5Au8; 1 << 20];
+                let mut run = 0u32;
+                b.iter(|| {
+                    let config = MemFsConfig {
+                        stripe_size: kib << 10,
+                        ..MemFsConfig::default()
+                    };
+                    let fs = MemFs::new(servers(4), config).unwrap();
+                    let path = format!("/bench{run}");
+                    run += 1;
+                    let mut w = fs.create(&path).unwrap();
+                    for _ in 0..(file_bytes >> 20) {
+                        w.write_all(&payload).unwrap();
+                    }
+                    w.close().unwrap();
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("read", stripe_kib),
+            &stripe_kib,
+            |b, &kib| {
+                let config = MemFsConfig {
+                    stripe_size: kib << 10,
+                    ..MemFsConfig::default()
+                };
+                let fs = MemFs::new(servers(4), config).unwrap();
+                let payload = vec![0x5Au8; file_bytes];
+                fs.write_file("/bench", &payload).unwrap();
+                let mut buf = vec![0u8; 1 << 20];
+                b.iter(|| {
+                    let r = fs.open("/bench").unwrap();
+                    let mut off = 0u64;
+                    while off < file_bytes as u64 {
+                        off += r.read_at(off, &mut buf).unwrap() as u64;
+                    }
+                    black_box(off)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout_planning, bench_write_read);
+criterion_main!(benches);

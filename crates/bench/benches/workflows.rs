@@ -1,0 +1,59 @@
+//! Workflow-simulation ablations: MemFS vs AMFS on Montage 6 (the
+//! replication cost of locality), and the simulator's own throughput at
+//! paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memfs_cluster::{ClusterSpec, Deployment};
+use memfs_mtc::fsmodel::FsModelKind;
+use memfs_mtc::montage::montage;
+use memfs_mtc::sched::SchedulerKind;
+use memfs_mtc::WorkflowSim;
+
+fn bench_montage_sim(c: &mut Criterion) {
+    let wf = montage(6, 512);
+    let mut group = c.benchmark_group("montage6_sim_16_nodes");
+    group.sample_size(10);
+    group.bench_function("memfs_uniform", |b| {
+        b.iter(|| {
+            let sim = WorkflowSim {
+                deployment: Deployment::full(ClusterSpec::das4_ipoib(16)),
+                fs: FsModelKind::MemFs,
+                scheduler: SchedulerKind::Uniform,
+            };
+            black_box(sim.run(&wf).makespan_secs)
+        })
+    });
+    group.bench_function("amfs_locality", |b| {
+        b.iter(|| {
+            let sim = WorkflowSim {
+                deployment: Deployment::full(ClusterSpec::das4_ipoib(16)).with_single_mount(),
+                fs: FsModelKind::Amfs,
+                scheduler: SchedulerKind::LocalityAware,
+            };
+            black_box(sim.run(&wf).makespan_secs)
+        })
+    });
+    group.finish();
+}
+
+fn bench_paper_scale(c: &mut Criterion) {
+    // The full 64-node, 512-core Montage 6 — the cost of regenerating one
+    // point of Figure 7a.
+    let wf = montage(6, 2048);
+    let mut group = c.benchmark_group("paper_scale");
+    group.sample_size(10);
+    group.bench_function("montage6_64_nodes_512_cores", |b| {
+        b.iter(|| {
+            let sim = WorkflowSim {
+                deployment: Deployment::full(ClusterSpec::das4_ipoib(64)),
+                fs: FsModelKind::MemFs,
+                scheduler: SchedulerKind::Uniform,
+            };
+            black_box(sim.run(&wf).makespan_secs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_montage_sim, bench_paper_scale);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # memfs-cluster
+//!
+//! The simulated cluster substrate for the MemFS reproduction: machine
+//! specifications matching the paper's two platforms (DAS4 and Amazon EC2
+//! c3.8xlarge), per-node memory accounting (the input to Figure 9 and
+//! Table 3), and the FUSE mountpoint contention model behind Figure 10.
+//!
+//! The paper's platforms:
+//!
+//! * **DAS4** — dual-quad-core Intel E5620 (8 cores), 24 GB DRAM per node,
+//!   QDR InfiniBand used via IPoIB at ~1 GB/s, plus commodity 1 GbE;
+//!   up to 64 nodes / 512 cores.
+//! * **EC2 c3.8xlarge** — 32 virtual cores over two NUMA nodes, 60 GB
+//!   DRAM, 10 GbE at ~1 GB/s measured; up to 32 instances / 1024 cores.
+//!
+//! "Out of the total memory of a node, we reserve 4GB for running the
+//! applications or benchmarks and the operating system. The rest of the
+//! system memory is used by either MemFS or AMFS" (§4).
+
+pub mod deploy;
+pub mod memory;
+pub mod mount;
+pub mod node;
+
+pub use deploy::{Deployment, MountStrategy};
+pub use memory::{MemoryError, MemoryTracker};
+pub use mount::MountModel;
+pub use node::{ClusterSpec, NodeSpec};

@@ -1,0 +1,131 @@
+//! The FUSE mountpoint contention model (paper §4.2.2, Figure 10).
+//!
+//! "The FUSE kernel module uses for each mountpoint a spinlock which is not
+//! able to scale when accessed from different NUMA nodes." With a single
+//! mountpoint, MemFS on a 32-core EC2 instance stops scaling at ~8
+//! application processes and *slows down* beyond that; deploying one
+//! mountpoint per application process removes the bottleneck.
+//!
+//! We model a mountpoint as a processor-sharing efficiency curve applied to
+//! a node's I/O service: ideal up to the knee (8 concurrent processes, the
+//! paper's observed limit), with per-process degradation beyond it that is
+//! steeper once the processes span NUMA domains (spinlock cacheline
+//! ping-pong). The curve feeds [`memfs_simcore::PsResource`] /
+//! the workflow engine's per-node I/O accounting.
+
+use memfs_simcore::EfficiencyCurve;
+
+use crate::node::NodeSpec;
+
+/// Concurrency level at which the FUSE spinlock stops scaling.
+pub const FUSE_KNEE: usize = 8;
+/// Relative aggregate-throughput loss per process beyond the knee when all
+/// processes sit in one NUMA domain.
+pub const DEGRADATION_SAME_NUMA: f64 = 0.02;
+/// The loss per process when the mountpoint is shared across NUMA domains
+/// — spinlock transfer between sockets is what makes Figure 10a collapse.
+pub const DEGRADATION_CROSS_NUMA: f64 = 0.045;
+
+/// Mountpoint deployment model for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MountModel {
+    /// One FUSE mountpoint shared by every application process on the
+    /// node (the paper's original deployment — Figure 10a).
+    Single,
+    /// One mountpoint per application process (the fix — Figure 10b).
+    PerProcess,
+}
+
+impl MountModel {
+    /// The efficiency curve a node with `spec` exhibits under this model.
+    pub fn efficiency_curve(self, spec: &NodeSpec) -> EfficiencyCurve {
+        match self {
+            MountModel::PerProcess => EfficiencyCurve::Linear,
+            MountModel::Single => {
+                let cross_numa = spec.numa_domains > 1 && spec.cores > spec.cores_per_numa();
+                EfficiencyCurve::Knee {
+                    knee: FUSE_KNEE,
+                    degradation: if cross_numa {
+                        DEGRADATION_CROSS_NUMA
+                    } else {
+                        DEGRADATION_SAME_NUMA
+                    },
+                }
+            }
+        }
+    }
+
+    /// Aggregate relative I/O efficiency with `n` concurrent processes on
+    /// a node with `spec`.
+    pub fn efficiency(self, spec: &NodeSpec, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        self.efficiency_curve(spec).efficiency(n)
+    }
+
+    /// Effective aggregate I/O *speedup* relative to one process: `n`
+    /// concurrent processes complete `n * efficiency(n)` process-work per
+    /// unit time.
+    pub fn effective_parallelism(self, spec: &NodeSpec, n: usize) -> f64 {
+        n as f64 * self.efficiency(spec, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_process_is_linear() {
+        let spec = NodeSpec::ec2_c3_8xlarge();
+        let m = MountModel::PerProcess;
+        for n in [1, 8, 16, 32] {
+            assert_eq!(m.efficiency(&spec, n), 1.0);
+        }
+    }
+
+    #[test]
+    fn single_mount_scales_to_knee() {
+        let spec = NodeSpec::ec2_c3_8xlarge();
+        let m = MountModel::Single;
+        for n in 1..=FUSE_KNEE {
+            assert_eq!(m.efficiency(&spec, n), 1.0);
+        }
+        assert!(m.efficiency(&spec, 16) < 1.0);
+        assert!(m.efficiency(&spec, 32) < m.efficiency(&spec, 16));
+    }
+
+    #[test]
+    fn cross_numa_degrades_faster() {
+        let ec2 = NodeSpec::ec2_c3_8xlarge(); // 32 cores, 2 NUMA
+        let single_numa = NodeSpec {
+            cores: 32,
+            dram_bytes: ec2.dram_bytes,
+            numa_domains: 1,
+        };
+        let m = MountModel::Single;
+        assert!(m.efficiency(&ec2, 24) < m.efficiency(&single_numa, 24));
+    }
+
+    #[test]
+    fn figure10_shape_aggregate_throughput_collapses() {
+        // The paper's Figure 10a: with a single mountpoint, running 32
+        // processes is *slower in wall time* than 8 — i.e. aggregate
+        // throughput at 32 must be lower than perfect 8-way.
+        let spec = NodeSpec::ec2_c3_8xlarge();
+        let m = MountModel::Single;
+        let agg8 = 8.0 * 1.0;
+        let agg32 = 32.0 * m.efficiency(&spec, 32);
+        assert!(
+            agg32 < agg8 * 1.2,
+            "single-mount 32-way aggregate {agg32} should not meaningfully beat 8-way {agg8}"
+        );
+    }
+
+    #[test]
+    fn zero_concurrency_is_neutral() {
+        let spec = NodeSpec::das4();
+        assert_eq!(MountModel::Single.efficiency(&spec, 0), 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Machine and cluster specifications.
+
+use memfs_netsim::NetProfile;
+use memfs_simcore::units::GB;
+
+/// One machine's hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Compute cores available for application tasks.
+    pub cores: usize,
+    /// Total DRAM in bytes.
+    pub dram_bytes: u64,
+    /// NUMA domains (the EC2 c3.8xlarge's two sockets matter for the FUSE
+    /// spinlock model of Figure 10).
+    pub numa_domains: usize,
+}
+
+impl NodeSpec {
+    /// A DAS4 compute node: dual quad-core E5620, 24 GB.
+    pub fn das4() -> Self {
+        NodeSpec {
+            cores: 8,
+            dram_bytes: 24 * GB,
+            numa_domains: 2,
+        }
+    }
+
+    /// An EC2 c3.8xlarge instance: 32 vCPUs over 2 NUMA nodes, 60 GB.
+    pub fn ec2_c3_8xlarge() -> Self {
+        NodeSpec {
+            cores: 32,
+            dram_bytes: 60 * GB,
+            numa_domains: 2,
+        }
+    }
+
+    /// Cores per NUMA domain.
+    pub fn cores_per_numa(&self) -> usize {
+        (self.cores / self.numa_domains.max(1)).max(1)
+    }
+}
+
+/// A homogeneous cluster plus its interconnect profile.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Network/platform profile.
+    pub profile: NetProfile,
+}
+
+impl ClusterSpec {
+    /// DAS4 over IP-over-InfiniBand (the paper's primary configuration).
+    pub fn das4_ipoib(n_nodes: usize) -> Self {
+        ClusterSpec {
+            n_nodes,
+            node: NodeSpec::das4(),
+            profile: NetProfile::das4_ipoib(),
+        }
+    }
+
+    /// DAS4 over commodity gigabit Ethernet (Table 1's second column set).
+    pub fn das4_gbe(n_nodes: usize) -> Self {
+        ClusterSpec {
+            n_nodes,
+            node: NodeSpec::das4(),
+            profile: NetProfile::das4_gbe(),
+        }
+    }
+
+    /// EC2 c3.8xlarge instances over 10 GbE.
+    pub fn ec2(n_nodes: usize) -> Self {
+        ClusterSpec {
+            n_nodes,
+            node: NodeSpec::ec2_c3_8xlarge(),
+            profile: NetProfile::ec2_c3_8xlarge(),
+        }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.n_nodes * self.node.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn das4_matches_paper() {
+        let c = ClusterSpec::das4_ipoib(64);
+        assert_eq!(c.total_cores(), 512); // the paper's 512-core ceiling
+        assert_eq!(c.node.dram_bytes, 24 * GB);
+        assert_eq!(c.node.cores_per_numa(), 4);
+        assert_eq!(c.profile.name, "DAS4-IPoIB");
+    }
+
+    #[test]
+    fn ec2_matches_paper() {
+        let c = ClusterSpec::ec2(32);
+        assert_eq!(c.total_cores(), 1024); // the paper's largest setup
+        assert_eq!(c.node.dram_bytes, 60 * GB);
+        assert_eq!(c.node.cores_per_numa(), 16);
+    }
+
+    #[test]
+    fn gbe_profile_is_slow() {
+        let fast = ClusterSpec::das4_ipoib(8);
+        let slow = ClusterSpec::das4_gbe(8);
+        assert!(slow.profile.nic_bw.bytes_per_s() < fast.profile.nic_bw.bytes_per_s() / 5.0);
+    }
+}

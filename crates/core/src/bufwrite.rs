@@ -1,0 +1,298 @@
+//! The write-buffering protocol (paper §3.2.2).
+//!
+//! Writes land in a per-file buffer; whenever a full stripe accumulates it
+//! is handed to the shared writer thread pool, which `set`s it on the
+//! owning storage server asynchronously. The buffer bounds in-flight data
+//! (8 MiB by default — the paper's per-open-file cache), applying
+//! backpressure to the writer when the network cannot keep up.
+//! "Whenever an application calls close(), or flush(), our file system
+//! waits until the write buffer has been emptied and then returns."
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use memfs_hashring::schema::KeySchema;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MemFsError, MemFsResult};
+use crate::layout::StripeLayout;
+use crate::pool::ServerPool;
+use crate::threadpool::ThreadPool;
+
+/// Shared completion state between the buffer and its in-flight jobs.
+struct Shared {
+    state: Mutex<Pending>,
+    cv: Condvar,
+}
+
+struct Pending {
+    inflight: usize,
+    /// First storage error observed by any background writer; surfaced at
+    /// the next flush/close.
+    error: Option<MemFsError>,
+}
+
+/// A buffered, striped writer for one file.
+pub struct WriteBuffer {
+    path: String,
+    layout: StripeLayout,
+    pool: Arc<ServerPool>,
+    workers: Arc<ThreadPool>,
+    current: BytesMut,
+    next_stripe: u64,
+    written: u64,
+    max_inflight: usize,
+    shared: Arc<Shared>,
+}
+
+impl WriteBuffer {
+    /// Create a writer for `path` striping with `layout`, draining through
+    /// `workers` onto `pool`, with at most `max_inflight` stripes in the
+    /// air (the 8 MiB buffer divided by the stripe size).
+    pub fn new(
+        path: String,
+        layout: StripeLayout,
+        pool: Arc<ServerPool>,
+        workers: Arc<ThreadPool>,
+        max_inflight: usize,
+    ) -> Self {
+        WriteBuffer {
+            path,
+            current: BytesMut::with_capacity(layout.stripe_size()),
+            layout,
+            pool,
+            workers,
+            next_stripe: 0,
+            written: 0,
+            max_inflight: max_inflight.max(1),
+            shared: Arc::new(Shared {
+                state: Mutex::new(Pending {
+                    inflight: 0,
+                    error: None,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Bytes accepted so far (the file offset of the next write).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append `data` sequentially, submitting completed stripes to the
+    /// background pool. Blocks only when `max_inflight` stripes are
+    /// already in the air.
+    pub fn write(&mut self, mut data: &[u8]) -> MemFsResult<()> {
+        self.check_error()?;
+        while !data.is_empty() {
+            let room = self.layout.stripe_size() - self.current.len();
+            let take = room.min(data.len());
+            self.current.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            self.written += take as u64;
+            if self.current.len() == self.layout.stripe_size() {
+                self.submit_current()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Wait for all in-flight stripes to be stored (the partial tail
+    /// stripe stays buffered — it can still grow).
+    pub fn flush(&mut self) -> MemFsResult<()> {
+        let mut state = self.shared.state.lock();
+        while state.inflight > 0 {
+            self.shared.cv.wait(&mut state);
+        }
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Submit the partial tail stripe (if any) and drain completely.
+    /// Returns the final file size. The buffer must not be written again.
+    pub fn finish(&mut self) -> MemFsResult<u64> {
+        if !self.current.is_empty() {
+            self.submit_current()?;
+        }
+        self.flush()?;
+        Ok(self.written)
+    }
+
+    fn check_error(&self) -> MemFsResult<()> {
+        let mut state = self.shared.state.lock();
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn submit_current(&mut self) -> MemFsResult<()> {
+        let payload = self.current.split().freeze();
+        let key = KeySchema::stripe_key(&self.path, self.next_stripe);
+        self.next_stripe += 1;
+
+        // Backpressure: cap in-flight stripes at the buffer budget.
+        {
+            let mut state = self.shared.state.lock();
+            while state.inflight >= self.max_inflight && state.error.is_none() {
+                self.shared.cv.wait(&mut state);
+            }
+            if let Some(e) = state.error.take() {
+                return Err(e);
+            }
+            state.inflight += 1;
+        }
+
+        let pool = Arc::clone(&self.pool);
+        let shared = Arc::clone(&self.shared);
+        self.workers.execute(move || {
+            let result = pool.set(&key, payload);
+            let mut state = shared.state.lock();
+            state.inflight -= 1;
+            if let Err(e) = result {
+                state.error.get_or_insert(e);
+            }
+            shared.cv.notify_all();
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistributorKind;
+    use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+
+    fn make_pool(n: usize, budget: u64) -> Arc<ServerPool> {
+        let clients: Vec<Arc<dyn KvClient>> = (0..n)
+            .map(|_| {
+                let cfg = StoreConfig {
+                    memory_budget: budget,
+                    ..StoreConfig::default()
+                };
+                Arc::new(LocalClient::new(Arc::new(Store::new(cfg)))) as Arc<dyn KvClient>
+            })
+            .collect();
+        Arc::new(ServerPool::new(clients, DistributorKind::default()))
+    }
+
+    fn read_back(pool: &ServerPool, path: &str, size: u64, stripe: usize) -> Vec<u8> {
+        let layout = StripeLayout::new(stripe);
+        let mut out = Vec::new();
+        for s in 0..layout.stripe_count(size) {
+            let key = KeySchema::stripe_key(path, s);
+            out.extend_from_slice(&pool.get(&key).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn writes_stripe_and_store_everything() {
+        let pool = make_pool(4, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let layout = StripeLayout::new(100);
+        let mut buf = WriteBuffer::new("/f".into(), layout, Arc::clone(&pool), workers, 4);
+        let data: Vec<u8> = (0..1050u32).map(|i| (i % 251) as u8).collect();
+        buf.write(&data).unwrap();
+        let size = buf.finish().unwrap();
+        assert_eq!(size, 1050);
+        assert_eq!(read_back(&pool, "/f", size, 100), data);
+    }
+
+    #[test]
+    fn partial_tail_stripe_stored_on_finish() {
+        let pool = make_pool(2, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let mut buf =
+            WriteBuffer::new("/f".into(), StripeLayout::new(100), Arc::clone(&pool), workers, 2);
+        buf.write(b"short").unwrap();
+        assert_eq!(buf.finish().unwrap(), 5);
+        let key = KeySchema::stripe_key("/f", 0);
+        assert_eq!(pool.get(&key).unwrap().as_ref(), b"short");
+    }
+
+    #[test]
+    fn empty_file_has_no_stripes() {
+        let pool = make_pool(2, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let mut buf =
+            WriteBuffer::new("/e".into(), StripeLayout::new(100), Arc::clone(&pool), workers, 2);
+        assert_eq!(buf.finish().unwrap(), 0);
+        assert!(!pool.contains(&KeySchema::stripe_key("/e", 0)));
+    }
+
+    #[test]
+    fn many_small_writes_accumulate() {
+        let pool = make_pool(4, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let mut buf =
+            WriteBuffer::new("/f".into(), StripeLayout::new(64), Arc::clone(&pool), workers, 4);
+        let mut expected = Vec::new();
+        for i in 0..500u32 {
+            let chunk = i.to_le_bytes();
+            buf.write(&chunk).unwrap();
+            expected.extend_from_slice(&chunk);
+        }
+        let size = buf.finish().unwrap();
+        assert_eq!(size, 2000);
+        assert_eq!(read_back(&pool, "/f", size, 64), expected);
+    }
+
+    #[test]
+    fn background_storage_error_surfaces_at_finish() {
+        // Tiny budget: stripes stop fitting quickly.
+        let pool = make_pool(1, 300);
+        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let mut buf =
+            WriteBuffer::new("/f".into(), StripeLayout::new(100), Arc::clone(&pool), workers, 2);
+        let data = vec![0u8; 5_000];
+        // The error may surface during write (backpressure path) or at
+        // finish; it must surface somewhere.
+        let result = buf.write(&data).and_then(|_| buf.finish().map(|_| ()));
+        assert!(matches!(result, Err(MemFsError::Storage(_))));
+    }
+
+    #[test]
+    fn flush_leaves_tail_writable() {
+        let pool = make_pool(2, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let mut buf =
+            WriteBuffer::new("/f".into(), StripeLayout::new(100), Arc::clone(&pool), workers, 2);
+        buf.write(&[1u8; 150]).unwrap();
+        buf.flush().unwrap();
+        // Stripe 0 is durable after flush; the 50-byte tail is not.
+        assert_eq!(pool.get(&KeySchema::stripe_key("/f", 0)).unwrap().len(), 100);
+        buf.write(&[2u8; 50]).unwrap();
+        let size = buf.finish().unwrap();
+        assert_eq!(size, 200);
+        let tail = pool.get(&KeySchema::stripe_key("/f", 1)).unwrap();
+        assert_eq!(&tail[..50], &[1u8; 50][..]);
+        assert_eq!(&tail[50..], &[2u8; 50][..]);
+    }
+
+    #[test]
+    fn stripes_distribute_across_servers() {
+        let pool = make_pool(8, 1 << 30);
+        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let mut buf = WriteBuffer::new(
+            "/big".into(),
+            StripeLayout::new(1024),
+            Arc::clone(&pool),
+            workers,
+            8,
+        );
+        buf.write(&vec![0u8; 64 * 1024]).unwrap();
+        buf.finish().unwrap();
+        // 64 stripes over 8 servers: every server should hold some.
+        let mut counts = vec![0usize; 8];
+        for s in 0..64u64 {
+            let key = KeySchema::stripe_key("/big", s);
+            counts[pool.server_for(&key).0] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "imbalanced: {counts:?}");
+    }
+}

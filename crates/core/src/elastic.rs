@@ -1,0 +1,233 @@
+//! Elastic storage membership — the paper's stated future work
+//! ("we investigate schemes to dynamically scale out storage nodes for
+//! handling growing storage requirements at application runtime", §5) and
+//! the reason it names consistent hashing: "for scenarios when nodes join
+//! and leave the system, a consistent hashing scheme of Libmemcached can
+//! be used" (§3.1.2).
+//!
+//! [`rebalance`] migrates the keys whose placement changed between an old
+//! and a new server pool. With the ketama distributor only ~`1/(N+1)` of
+//! the keys move when a server joins (asserted by this crate's property
+//! tests); with the modulo distributor nearly everything moves — the
+//! trade-off the paper alludes to.
+//!
+//! Key enumeration uses the `keys` protocol extension
+//! ([`memfs_memkv::KvClient::scan_keys`]), supported by the in-process and
+//! TCP clients alike.
+
+use std::collections::BTreeSet;
+
+use memfs_hashring::ServerId;
+
+use crate::error::{MemFsError, MemFsResult};
+use crate::pool::ServerPool;
+
+/// Outcome of a rebalance pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Distinct keys found across the old pool.
+    pub scanned_keys: usize,
+    /// Keys copied to at least one new location.
+    pub moved_keys: usize,
+    /// Bytes copied.
+    pub moved_bytes: u64,
+    /// Stale copies removed from servers that no longer own their key.
+    pub removed_copies: usize,
+}
+
+/// Migrate data so that every key is stored exactly where `to` places it.
+///
+/// Requirements:
+/// * `to` must contain the servers of `from` **at the same indices**, with
+///   any new servers appended (the usual grow-the-cluster shape);
+/// * no writers may be active during the pass (MemFS files are immutable
+///   once closed, so quiescing writers is sufficient — readers may
+///   continue, since copies are added before stale ones are removed).
+///
+/// The pass is idempotent: re-running it after a crash converges.
+///
+/// # Panics
+/// Panics if `to` has fewer servers than `from`.
+pub fn rebalance(from: &ServerPool, to: &ServerPool) -> MemFsResult<RebalanceReport> {
+    assert!(
+        to.n_servers() >= from.n_servers(),
+        "rebalance target must contain every source server"
+    );
+    let mut report = RebalanceReport::default();
+
+    // Gather the distinct key population from every old server (replicas
+    // make keys appear on several servers).
+    let mut keys: BTreeSet<Vec<u8>> = BTreeSet::new();
+    for s in 0..from.n_servers() {
+        let server_keys = from
+            .client(ServerId(s))
+            .scan_keys()
+            .map_err(MemFsError::Storage)?;
+        keys.extend(server_keys);
+    }
+    report.scanned_keys = keys.len();
+
+    for key in &keys {
+        let old: BTreeSet<usize> = from.servers_for(key).map(|s| s.0).collect();
+        let new: BTreeSet<usize> = to.servers_for(key).map(|s| s.0).collect();
+        if old == new {
+            continue;
+        }
+        // Copy-before-delete keeps the key readable throughout.
+        let value = from.get(key)?;
+        let mut copied = false;
+        for &dst in new.difference(&old) {
+            to.client(ServerId(dst)).set(key, value.clone())?;
+            report.moved_bytes += value.len() as u64;
+            copied = true;
+        }
+        if copied {
+            report.moved_keys += 1;
+        }
+        for &src in old.difference(&new) {
+            match to.client(ServerId(src)).delete(key) {
+                Ok(()) => report.removed_copies += 1,
+                Err(memfs_memkv::KvError::NotFound) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DistributorKind, MemFsConfig};
+    use crate::fs::MemFs;
+    use std::sync::Arc;
+
+    use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+
+    fn stores(n: usize) -> Vec<Arc<Store>> {
+        (0..n)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect()
+    }
+
+    fn clients(stores: &[Arc<Store>]) -> Vec<Arc<dyn KvClient>> {
+        stores
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect()
+    }
+
+    fn ketama() -> DistributorKind {
+        DistributorKind::Ketama {
+            points_per_server: 64,
+        }
+    }
+
+    #[test]
+    fn grow_cluster_and_read_everything_back() {
+        // Write through a 3-server ketama mount.
+        let all_stores = stores(4);
+        let old_pool = Arc::new(ServerPool::new(clients(&all_stores[..3]), ketama()));
+        let config = MemFsConfig {
+            stripe_size: 2048,
+            write_buffer_size: 8192,
+            read_cache_size: 8192,
+            writer_threads: 2,
+            prefetch_threads: 2,
+            prefetch_window: 2,
+            distributor: ketama(),
+            ..MemFsConfig::default()
+        };
+        let fs_old = MemFs::with_pool(Arc::clone(&old_pool), config.clone()).unwrap();
+        let mut originals = Vec::new();
+        for i in 0..20 {
+            let data: Vec<u8> = (0..9_000u32).map(|b| ((b + i) % 251) as u8).collect();
+            fs_old.write_file(&format!("/f{i}"), &data).unwrap();
+            originals.push(data);
+        }
+
+        // Grow to 4 servers and rebalance.
+        let new_pool = Arc::new(ServerPool::new(clients(&all_stores), ketama()));
+        let report = rebalance(&old_pool, &new_pool).unwrap();
+        assert!(report.scanned_keys > 0);
+        assert!(report.moved_keys > 0, "a new server must receive keys");
+        assert_eq!(report.moved_keys, report.removed_copies);
+
+        // A mount over the grown pool reads everything.
+        let fs_new = MemFs::with_pool(Arc::clone(&new_pool), config).unwrap();
+        for (i, data) in originals.iter().enumerate() {
+            assert_eq!(&fs_new.read_to_vec(&format!("/f{i}")).unwrap(), data);
+        }
+        // The new server actually holds data.
+        assert!(all_stores[3].item_count() > 0);
+        // No key remains misplaced: re-running is a no-op.
+        let again = rebalance(&new_pool, &new_pool).unwrap();
+        assert_eq!(again.moved_keys, 0);
+        assert_eq!(again.removed_copies, 0);
+    }
+
+    #[test]
+    fn ketama_moves_a_bounded_fraction() {
+        let all_stores = stores(9);
+        let old_pool = ServerPool::new(clients(&all_stores[..8]), ketama());
+        // Populate directly with many keys.
+        for i in 0..400 {
+            old_pool
+                .set(format!("s:/data/file{i}#0").as_bytes(), bytes::Bytes::from(vec![0u8; 64]))
+                .unwrap();
+        }
+        let new_pool = ServerPool::new(clients(&all_stores), ketama());
+        let report = rebalance(&old_pool, &new_pool).unwrap();
+        assert_eq!(report.scanned_keys, 400);
+        let frac = report.moved_keys as f64 / 400.0;
+        assert!(
+            frac < 0.3,
+            "ketama growth moved {frac:.0}% of keys — should be near 1/9"
+        );
+    }
+
+    #[test]
+    fn modulo_moves_almost_everything() {
+        // The contrast that motivates ketama for elasticity.
+        let all_stores = stores(9);
+        let old_pool = ServerPool::new(clients(&all_stores[..8]), DistributorKind::default());
+        for i in 0..400 {
+            old_pool
+                .set(format!("s:/data/file{i}#0").as_bytes(), bytes::Bytes::from(vec![0u8; 64]))
+                .unwrap();
+        }
+        let new_pool = ServerPool::new(clients(&all_stores), DistributorKind::default());
+        let report = rebalance(&old_pool, &new_pool).unwrap();
+        let frac = report.moved_keys as f64 / 400.0;
+        assert!(frac > 0.7, "modulo growth should move most keys, moved {frac:.0}%");
+        // Everything still readable through the new pool.
+        for i in 0..400 {
+            assert!(new_pool.get(format!("s:/data/file{i}#0").as_bytes()).is_ok());
+        }
+    }
+
+    #[test]
+    fn rebalance_preserves_replication() {
+        let all_stores = stores(5);
+        let old_pool = ServerPool::with_replication(clients(&all_stores[..4]), ketama(), 2);
+        for i in 0..100 {
+            old_pool
+                .set(format!("k{i}").as_bytes(), bytes::Bytes::from(vec![1u8; 32]))
+                .unwrap();
+        }
+        let new_pool = ServerPool::with_replication(clients(&all_stores), ketama(), 2);
+        rebalance(&old_pool, &new_pool).unwrap();
+        // Every key is on exactly its two new homes.
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let homes: BTreeSet<usize> = new_pool.servers_for(key.as_bytes()).map(|s| s.0).collect();
+            for (s, store) in all_stores.iter().enumerate() {
+                assert_eq!(
+                    store.contains(key.as_bytes()),
+                    homes.contains(&s),
+                    "key {key} misplaced on server {s}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The striping mechanism (paper §3.2.1): mapping byte ranges to fixed-size
+//! stripes.
+//!
+//! Striping is what lifts MemFS above memcached's per-item limit, turns
+//! single-file I/O into parallel streams against many servers, and lets
+//! applications read small parts of large files without transferring the
+//! whole file.
+
+/// One contiguous piece of a byte range within a single stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeSpan {
+    /// Which stripe (zero-based).
+    pub stripe: u64,
+    /// Offset of the piece inside the stripe.
+    pub offset_in_stripe: usize,
+    /// Length of the piece.
+    pub len: usize,
+}
+
+/// Stripe arithmetic for a fixed stripe size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    stripe_size: usize,
+}
+
+impl StripeLayout {
+    /// A layout with the given stripe size.
+    ///
+    /// # Panics
+    /// Panics if `stripe_size == 0`.
+    pub fn new(stripe_size: usize) -> Self {
+        assert!(stripe_size > 0, "stripe size must be positive");
+        StripeLayout { stripe_size }
+    }
+
+    /// The stripe size in bytes.
+    pub fn stripe_size(&self) -> usize {
+        self.stripe_size
+    }
+
+    /// Number of stripes a file of `file_size` bytes occupies (0 for an
+    /// empty file).
+    pub fn stripe_count(&self, file_size: u64) -> u64 {
+        file_size.div_ceil(self.stripe_size as u64)
+    }
+
+    /// The stripe containing byte `offset`.
+    pub fn stripe_of(&self, offset: u64) -> u64 {
+        offset / self.stripe_size as u64
+    }
+
+    /// Size of stripe `stripe` in a file of `file_size` bytes (the last
+    /// stripe may be partial; stripes past the end are zero-sized).
+    pub fn stripe_len(&self, file_size: u64, stripe: u64) -> usize {
+        let start = stripe * self.stripe_size as u64;
+        if start >= file_size {
+            return 0;
+        }
+        ((file_size - start) as usize).min(self.stripe_size)
+    }
+
+    /// Decompose the range `[offset, offset + len)` clamped to
+    /// `[0, file_size)` into per-stripe spans, in stripe order.
+    ///
+    /// This is the read path's planner: each span becomes one KV `get`
+    /// (or a cache hit). Small reads touch exactly one stripe — the
+    /// "optimizes small reads" property of §3.2.1.
+    pub fn spans(&self, file_size: u64, offset: u64, len: usize) -> Vec<StripeSpan> {
+        let end = offset.saturating_add(len as u64).min(file_size);
+        if offset >= end {
+            return Vec::new();
+        }
+        let mut spans = Vec::new();
+        let mut pos = offset;
+        while pos < end {
+            let stripe = self.stripe_of(pos);
+            let stripe_start = stripe * self.stripe_size as u64;
+            let offset_in_stripe = (pos - stripe_start) as usize;
+            let span_len =
+                ((end - pos) as usize).min(self.stripe_size - offset_in_stripe);
+            spans.push(StripeSpan {
+                stripe,
+                offset_in_stripe,
+                len: span_len,
+            });
+            pos += span_len as u64;
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_counts() {
+        let l = StripeLayout::new(100);
+        assert_eq!(l.stripe_count(0), 0);
+        assert_eq!(l.stripe_count(1), 1);
+        assert_eq!(l.stripe_count(100), 1);
+        assert_eq!(l.stripe_count(101), 2);
+        assert_eq!(l.stripe_count(1000), 10);
+    }
+
+    #[test]
+    fn stripe_lengths_including_partial_tail() {
+        let l = StripeLayout::new(100);
+        assert_eq!(l.stripe_len(250, 0), 100);
+        assert_eq!(l.stripe_len(250, 1), 100);
+        assert_eq!(l.stripe_len(250, 2), 50);
+        assert_eq!(l.stripe_len(250, 3), 0);
+        assert_eq!(l.stripe_len(0, 0), 0);
+    }
+
+    #[test]
+    fn single_stripe_read() {
+        let l = StripeLayout::new(100);
+        let spans = l.spans(1000, 250, 20);
+        assert_eq!(
+            spans,
+            vec![StripeSpan {
+                stripe: 2,
+                offset_in_stripe: 50,
+                len: 20
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_stripe_read_crosses_boundaries() {
+        let l = StripeLayout::new(100);
+        let spans = l.spans(1000, 95, 210);
+        assert_eq!(
+            spans,
+            vec![
+                StripeSpan { stripe: 0, offset_in_stripe: 95, len: 5 },
+                StripeSpan { stripe: 1, offset_in_stripe: 0, len: 100 },
+                StripeSpan { stripe: 2, offset_in_stripe: 0, len: 100 },
+                StripeSpan { stripe: 3, offset_in_stripe: 0, len: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reads_clamp_to_file_size() {
+        let l = StripeLayout::new(100);
+        let spans = l.spans(120, 100, 500);
+        assert_eq!(
+            spans,
+            vec![StripeSpan {
+                stripe: 1,
+                offset_in_stripe: 0,
+                len: 20
+            }]
+        );
+        assert!(l.spans(120, 120, 10).is_empty());
+        assert!(l.spans(120, 500, 10).is_empty());
+        assert!(l.spans(120, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn spans_cover_range_exactly() {
+        let l = StripeLayout::new(64);
+        for (offset, len) in [(0u64, 1usize), (63, 2), (0, 64), (1, 127), (200, 500)] {
+            let spans = l.spans(1000, offset, len);
+            let total: usize = spans.iter().map(|s| s.len).sum();
+            let expected = ((offset + len as u64).min(1000) - offset.min(1000)) as usize;
+            assert_eq!(total, expected, "offset {offset} len {len}");
+            // Spans are contiguous.
+            let mut pos = offset;
+            for s in &spans {
+                assert_eq!(s.stripe * 64 + s.offset_in_stripe as u64, pos);
+                pos += s.len as u64;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stripe_size_panics() {
+        StripeLayout::new(0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The server pool: the Libmemcached role (paper §3.1.2).
+//!
+//! Holds one [`KvClient`] per storage server plus a [`Distributor`]; every
+//! operation hashes its key to pick the server. All MemFS mounts with the
+//! same server list and distributor agree on placement — that is what lets
+//! any compute node read any file without coordination.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use memfs_hashring::{Distributor, KetamaRing, ModuloRing, ServerId};
+use memfs_memkv::{KvClient, KvError};
+
+use crate::config::DistributorKind;
+use crate::error::{MemFsError, MemFsResult};
+
+/// A hash-routed pool of storage servers with optional n-way replication.
+///
+/// Replication is the fault-tolerance mechanism the paper sketches but
+/// defers ("assuming the replication factor is n, then the total storage
+/// capacity of MemFS would be decreased n times and n times more data will
+/// flow through the network", §3.2.5). With `replication = r`, each key is
+/// written to `r` consecutive servers on the ring (primary + followers);
+/// reads try the primary first and fall back to the followers, so the
+/// system tolerates `r - 1` server failures. The capacity/traffic cost the
+/// paper predicts is measured by the `replication` bench.
+///
+/// Caveat (documented, matching the paper's decision not to productize
+/// this): replicated `append` applies to each copy in turn, so two
+/// *concurrent* appends to one key may order differently across replicas.
+/// MemFS' directory logs are order-insensitive sets, so folding still
+/// converges; applications needing ordered replicated appends should keep
+/// `replication = 1`.
+pub struct ServerPool {
+    clients: Vec<Arc<dyn KvClient>>,
+    dist: Arc<dyn Distributor>,
+    replication: usize,
+}
+
+impl ServerPool {
+    /// Build a pool over `clients` with the configured distributor and no
+    /// replication.
+    ///
+    /// # Panics
+    /// Panics on an empty client list.
+    pub fn new(clients: Vec<Arc<dyn KvClient>>, kind: DistributorKind) -> Self {
+        Self::with_replication(clients, kind, 1)
+    }
+
+    /// Build a pool that writes each key to `replication` consecutive
+    /// servers.
+    ///
+    /// # Panics
+    /// Panics on an empty client list, `replication == 0`, or a
+    /// replication factor exceeding the server count.
+    pub fn with_replication(
+        clients: Vec<Arc<dyn KvClient>>,
+        kind: DistributorKind,
+        replication: usize,
+    ) -> Self {
+        assert!(!clients.is_empty(), "server pool needs at least one server");
+        assert!(
+            replication >= 1 && replication <= clients.len(),
+            "replication factor {replication} invalid for {} servers",
+            clients.len()
+        );
+        let dist: Arc<dyn Distributor> = match kind {
+            DistributorKind::Modulo(scheme) => Arc::new(ModuloRing::new(clients.len(), scheme)),
+            DistributorKind::Ketama { points_per_server } => {
+                Arc::new(KetamaRing::with_n_servers(clients.len(), points_per_server))
+            }
+        };
+        ServerPool {
+            clients,
+            dist,
+            replication,
+        }
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The servers holding `key`, primary first.
+    pub fn servers_for(&self, key: &[u8]) -> impl Iterator<Item = ServerId> + '_ {
+        let primary = self.dist.server_for(key).0;
+        let n = self.clients.len();
+        (0..self.replication).map(move |i| ServerId((primary + i) % n))
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The server a key routes to (exposed for balance diagnostics and the
+    /// simulation models, which share this placement logic).
+    pub fn server_for(&self, key: &[u8]) -> ServerId {
+        self.dist.server_for(key)
+    }
+
+    /// The client for a given server id.
+    pub fn client(&self, id: ServerId) -> &Arc<dyn KvClient> {
+        &self.clients[id.0]
+    }
+
+    /// Routed `set`: written to every replica; all must accept.
+    pub fn set(&self, key: &[u8], value: Bytes) -> MemFsResult<()> {
+        for id in self.servers_for(key) {
+            self.client(id).set(key, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Routed `add`: the primary arbitrates existence (its atomic `add` is
+    /// the write-once gate); followers receive plain `set`s.
+    pub fn add(&self, key: &[u8], value: Bytes) -> MemFsResult<()> {
+        let mut servers = self.servers_for(key);
+        let primary = servers.next().expect("replication >= 1");
+        self.client(primary).add(key, value.clone())?;
+        for id in servers {
+            self.client(id).set(key, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Routed `get`: primary first, surviving replicas on failure. Only
+    /// transport/server errors trigger fallback — `NotFound` is
+    /// authoritative from any live replica.
+    pub fn get(&self, key: &[u8]) -> MemFsResult<Bytes> {
+        let mut last_err: Option<KvError> = None;
+        for id in self.servers_for(key) {
+            match self.client(id).get(key) {
+                Ok(v) => return Ok(v),
+                Err(e @ KvError::NotFound) => return Err(e.into()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("replication >= 1").into())
+    }
+
+    /// Routed `get` that maps a missing key to `None`.
+    pub fn try_get(&self, key: &[u8]) -> MemFsResult<Option<Bytes>> {
+        match self.get(key) {
+            Ok(v) => Ok(Some(v)),
+            Err(MemFsError::Storage(KvError::NotFound)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Routed atomic `append`, applied to every replica (see the ordering
+    /// caveat in the type docs).
+    pub fn append(&self, key: &[u8], suffix: &[u8]) -> MemFsResult<()> {
+        for id in self.servers_for(key) {
+            self.client(id).append(key, suffix)?;
+        }
+        Ok(())
+    }
+
+    /// Routed `delete`; missing keys and dead replicas are ignored
+    /// (idempotent cleanup).
+    pub fn delete_quiet(&self, key: &[u8]) -> MemFsResult<()> {
+        let mut last_err: Option<KvError> = None;
+        let mut any_ok = false;
+        for id in self.servers_for(key) {
+            match self.client(id).delete(key) {
+                Ok(()) | Err(KvError::NotFound) => any_ok = true,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if any_ok {
+            Ok(())
+        } else {
+            Err(last_err.expect("replication >= 1").into())
+        }
+    }
+
+    /// Whether a key exists on any live replica.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.servers_for(key).any(|id| self.client(id).contains(key))
+    }
+}
+
+impl std::fmt::Debug for ServerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerPool")
+            .field("n_servers", &self.clients.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfs_memkv::{LocalClient, Store, StoreConfig};
+
+    fn pool(n: usize) -> (ServerPool, Vec<Arc<Store>>) {
+        let stores: Vec<Arc<Store>> = (0..n)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = stores
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect();
+        (ServerPool::new(clients, DistributorKind::default()), stores)
+    }
+
+    #[test]
+    fn routed_round_trip() {
+        let (p, _) = pool(4);
+        p.set(b"k1", Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(p.get(b"k1").unwrap().as_ref(), b"v1");
+        assert!(p.contains(b"k1"));
+        assert_eq!(p.try_get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn keys_spread_across_servers() {
+        let (p, stores) = pool(4);
+        for i in 0..200 {
+            let key = format!("s:/file{i}#0");
+            p.set(key.as_bytes(), Bytes::from_static(b"x")).unwrap();
+        }
+        for (i, s) in stores.iter().enumerate() {
+            assert!(s.item_count() > 20, "server {i} got {} items", s.item_count());
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_across_pool_instances() {
+        let (p1, _) = pool(8);
+        let (p2, _) = pool(8);
+        for i in 0..100 {
+            let key = format!("s:/f{i}#3");
+            assert_eq!(p1.server_for(key.as_bytes()), p2.server_for(key.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn delete_quiet_is_idempotent() {
+        let (p, _) = pool(2);
+        p.set(b"k", Bytes::from_static(b"v")).unwrap();
+        p.delete_quiet(b"k").unwrap();
+        p.delete_quiet(b"k").unwrap();
+        assert!(!p.contains(b"k"));
+    }
+
+    #[test]
+    fn ketama_pool_works() {
+        let stores: Vec<Arc<dyn KvClient>> = (0..4)
+            .map(|_| {
+                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                    as Arc<dyn KvClient>
+            })
+            .collect();
+        let p = ServerPool::new(
+            stores,
+            DistributorKind::Ketama {
+                points_per_server: 64,
+            },
+        );
+        p.set(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(p.get(b"k").unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_pool_panics() {
+        ServerPool::new(Vec::new(), DistributorKind::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn oversized_replication_panics() {
+        let (p, _) = pool(2);
+        drop(p);
+        let stores: Vec<Arc<dyn KvClient>> = (0..2)
+            .map(|_| {
+                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                    as Arc<dyn KvClient>
+            })
+            .collect();
+        ServerPool::with_replication(stores, DistributorKind::default(), 3);
+    }
+
+    #[test]
+    fn replicated_writes_land_on_consecutive_servers() {
+        let stores: Vec<Arc<Store>> = (0..4)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = stores
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect();
+        let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
+        p.set(b"k", Bytes::from_static(b"v")).unwrap();
+        let holders = stores.iter().filter(|s| s.contains(b"k")).count();
+        assert_eq!(holders, 2);
+        let expected: Vec<usize> = p.servers_for(b"k").map(|s| s.0).collect();
+        for &i in &expected {
+            assert!(stores[i].contains(b"k"));
+        }
+    }
+
+    #[test]
+    fn replicated_reads_survive_a_dead_primary() {
+        use memfs_memkv::FailableClient;
+        let failables: Vec<Arc<FailableClient<LocalClient>>> = (0..3)
+            .map(|_| {
+                Arc::new(FailableClient::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))))
+            })
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = failables
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn KvClient>)
+            .collect();
+        let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
+        p.set(b"k", Bytes::from_static(b"survives")).unwrap();
+        // Take the primary down: reads fall back to the follower.
+        let primary = p.servers_for(b"k").next().unwrap();
+        failables[primary.0].set_down(true);
+        assert_eq!(p.get(b"k").unwrap().as_ref(), b"survives");
+        assert!(p.contains(b"k"));
+        // With the follower down too, the read fails loudly.
+        let follower = p.servers_for(b"k").nth(1).unwrap();
+        failables[follower.0].set_down(true);
+        assert!(p.get(b"k").is_err());
+    }
+
+    #[test]
+    fn replication_costs_capacity_as_the_paper_predicts() {
+        // "the total storage capacity of MemFS would be decreased n times"
+        let total_bytes = |r: usize| -> u64 {
+            let stores: Vec<Arc<Store>> = (0..4)
+                .map(|_| Arc::new(Store::new(StoreConfig::default())))
+                .collect();
+            let clients: Vec<Arc<dyn KvClient>> = stores
+                .iter()
+                .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+                .collect();
+            let p = ServerPool::with_replication(clients, DistributorKind::default(), r);
+            for i in 0..32 {
+                p.set(format!("k{i}").as_bytes(), Bytes::from(vec![0u8; 1000]))
+                    .unwrap();
+            }
+            stores.iter().map(|s| s.bytes_used()).sum()
+        };
+        let single = total_bytes(1);
+        let double = total_bytes(2);
+        assert!(
+            (double as f64 / single as f64 - 2.0).abs() < 0.05,
+            "2x replication should store ~2x: {single} -> {double}"
+        );
+    }
+}

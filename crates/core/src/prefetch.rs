@@ -1,0 +1,358 @@
+//! The prefetching protocol (paper §3.2.2).
+//!
+//! "Our prefetching scheme is simple and effective only for sequential
+//! reads: when an application requests data from a specific stripe, MemFS
+//! prefetches the consecutive stripes in a local cache."
+//!
+//! [`StripeReader`] keeps a bounded per-file cache (8 MiB by default).
+//! Every stripe access triggers prefetch of the next `window` stripes
+//! through the shared prefetch thread pool; sequential readers therefore
+//! always find the next stripe already local, hiding the network latency
+//! (which is why Figure 3a shows read bandwidth independent of stripe
+//! size).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use memfs_hashring::schema::KeySchema;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MemFsError, MemFsResult};
+use crate::layout::StripeLayout;
+use crate::pool::ServerPool;
+use crate::threadpool::ThreadPool;
+
+/// State of one cache slot.
+enum Slot {
+    /// A prefetch job is fetching this stripe.
+    InFlight,
+    /// Stripe bytes are local.
+    Ready(Bytes),
+    /// The background fetch failed; readers retry synchronously.
+    Failed,
+}
+
+struct CacheState {
+    slots: HashMap<u64, Slot>,
+    /// Ready-slot insertion order, for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+struct Cache {
+    state: Mutex<CacheState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// A striped, prefetching reader over one finalized file.
+pub struct StripeReader {
+    path: String,
+    layout: StripeLayout,
+    file_size: u64,
+    pool: Arc<ServerPool>,
+    workers: Option<Arc<ThreadPool>>,
+    window: usize,
+    cache: Arc<Cache>,
+}
+
+impl StripeReader {
+    /// Create a reader for `path` with final size `file_size`.
+    ///
+    /// `workers`/`window` control prefetching; pass `None`/`0` to disable
+    /// (the "no prefetching" ablation of Figure 3b). `cache_stripes` caps
+    /// the local cache (8 MiB / stripe size by default).
+    pub fn new(
+        path: String,
+        layout: StripeLayout,
+        file_size: u64,
+        pool: Arc<ServerPool>,
+        workers: Option<Arc<ThreadPool>>,
+        window: usize,
+        cache_stripes: usize,
+    ) -> Self {
+        StripeReader {
+            path,
+            layout,
+            file_size,
+            pool,
+            workers,
+            window,
+            cache: Arc::new(Cache {
+                state: Mutex::new(CacheState {
+                    slots: HashMap::new(),
+                    order: VecDeque::new(),
+                }),
+                cv: Condvar::new(),
+                capacity: cache_stripes.max(1),
+            }),
+        }
+    }
+
+    /// The file size this reader was opened with.
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+
+    /// Fetch stripe `stripe`, from cache if possible, then kick prefetch
+    /// of the consecutive window.
+    pub fn stripe(&self, stripe: u64) -> MemFsResult<Bytes> {
+        debug_assert!(stripe < self.layout.stripe_count(self.file_size));
+        let data = self.fetch(stripe)?;
+        self.prefetch_ahead(stripe);
+        Ok(data)
+    }
+
+    /// Cache-or-network fetch of one stripe, waiting on in-flight
+    /// prefetches rather than fetching twice.
+    fn fetch(&self, stripe: u64) -> MemFsResult<Bytes> {
+        if self.window > 0 {
+            let mut state = self.cache.state.lock();
+            loop {
+                match state.slots.get(&stripe) {
+                    Some(Slot::Ready(data)) => return Ok(data.clone()),
+                    Some(Slot::InFlight) => {
+                        self.cache.cv.wait(&mut state);
+                    }
+                    Some(Slot::Failed) | None => break,
+                }
+            }
+        }
+        // Synchronous path (miss, failed prefetch, or prefetch disabled).
+        let key = KeySchema::stripe_key(&self.path, stripe);
+        let data = self.pool.get(&key).map_err(|e| match e {
+            // A missing stripe under a finalized size record means the
+            // key space was tampered with.
+            MemFsError::Storage(memfs_memkv::KvError::NotFound) => MemFsError::CorruptMetadata(
+                format!("stripe {stripe} of {} missing from store", self.path),
+            ),
+            other => other,
+        })?;
+        if self.window > 0 {
+            self.insert_ready(stripe, data.clone());
+        }
+        Ok(data)
+    }
+
+    /// Queue background fetches for stripes `stripe+1 ..= stripe+window`.
+    fn prefetch_ahead(&self, stripe: u64) {
+        let Some(workers) = &self.workers else {
+            return;
+        };
+        if self.window == 0 {
+            return;
+        }
+        let total = self.layout.stripe_count(self.file_size);
+        for next in (stripe + 1)..=(stripe + self.window as u64) {
+            if next >= total {
+                break;
+            }
+            {
+                let mut state = self.cache.state.lock();
+                if state.slots.contains_key(&next) {
+                    continue; // ready, in flight, or failed-recently
+                }
+                // Don't let prefetch evict data the reader hasn't seen:
+                // only start if there is room.
+                if state.slots.len() >= self.cache.capacity {
+                    break;
+                }
+                state.slots.insert(next, Slot::InFlight);
+            }
+            let key = KeySchema::stripe_key(&self.path, next);
+            let pool = Arc::clone(&self.pool);
+            let cache = Arc::clone(&self.cache);
+            workers.execute(move || {
+                let result = pool.get(&key);
+                let mut state = cache.state.lock();
+                match result {
+                    Ok(data) => {
+                        state.slots.insert(next, Slot::Ready(data));
+                        state.order.push_back(next);
+                    }
+                    Err(_) => {
+                        state.slots.insert(next, Slot::Failed);
+                    }
+                }
+                cache.cv.notify_all();
+            });
+        }
+    }
+
+    /// Insert a synchronously fetched stripe, evicting FIFO if needed.
+    fn insert_ready(&self, stripe: u64, data: Bytes) {
+        let mut state = self.cache.state.lock();
+        while state.order.len() >= self.cache.capacity {
+            if let Some(victim) = state.order.pop_front() {
+                // Never evict the stripe we are inserting.
+                if victim != stripe {
+                    state.slots.remove(&victim);
+                }
+            } else {
+                break;
+            }
+        }
+        state.slots.insert(stripe, Slot::Ready(data));
+        state.order.push_back(stripe);
+        self.cache.cv.notify_all();
+    }
+
+    /// Number of stripes currently cached or in flight (diagnostic).
+    pub fn cached_stripes(&self) -> usize {
+        self.cache.state.lock().slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistributorKind;
+    use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+
+    fn setup(file_size: u64, stripe: usize) -> (Arc<ServerPool>, Vec<u8>) {
+        let clients: Vec<Arc<dyn KvClient>> = (0..4)
+            .map(|_| {
+                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                    as Arc<dyn KvClient>
+            })
+            .collect();
+        let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
+        let data: Vec<u8> = (0..file_size).map(|i| (i % 241) as u8).collect();
+        let layout = StripeLayout::new(stripe);
+        for s in 0..layout.stripe_count(file_size) {
+            let start = (s as usize) * stripe;
+            let end = (start + stripe).min(file_size as usize);
+            pool.set(
+                &KeySchema::stripe_key("/f", s),
+                Bytes::copy_from_slice(&data[start..end]),
+            )
+            .unwrap();
+        }
+        (pool, data)
+    }
+
+    fn reader(
+        pool: &Arc<ServerPool>,
+        file_size: u64,
+        stripe: usize,
+        window: usize,
+    ) -> StripeReader {
+        let workers = if window > 0 {
+            Some(Arc::new(ThreadPool::new(2, "pf")))
+        } else {
+            None
+        };
+        StripeReader::new(
+            "/f".into(),
+            StripeLayout::new(stripe),
+            file_size,
+            Arc::clone(pool),
+            workers,
+            window,
+            16,
+        )
+    }
+
+    #[test]
+    fn sequential_read_with_prefetch_returns_correct_bytes() {
+        let (pool, data) = setup(1000, 100);
+        let r = reader(&pool, 1000, 100, 4);
+        let mut out = Vec::new();
+        for s in 0..10 {
+            out.extend_from_slice(&r.stripe(s).unwrap());
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn random_order_reads_are_correct() {
+        let (pool, data) = setup(1000, 100);
+        let r = reader(&pool, 1000, 100, 4);
+        for &s in &[7u64, 0, 9, 3, 3, 1, 8, 0] {
+            let got = r.stripe(s).unwrap();
+            let start = (s as usize) * 100;
+            assert_eq!(got.as_ref(), &data[start..start + 100]);
+        }
+    }
+
+    #[test]
+    fn no_prefetch_mode_works() {
+        let (pool, data) = setup(500, 100);
+        let r = reader(&pool, 500, 100, 0);
+        for s in 0..5 {
+            let got = r.stripe(s).unwrap();
+            assert_eq!(got.as_ref(), &data[(s as usize) * 100..(s as usize + 1) * 100]);
+        }
+        assert_eq!(r.cached_stripes(), 0);
+    }
+
+    #[test]
+    fn prefetch_populates_cache() {
+        let (pool, _) = setup(2000, 100);
+        let r = reader(&pool, 2000, 100, 8);
+        r.stripe(0).unwrap();
+        // Wait for prefetchers to land (bounded spin).
+        for _ in 0..1000 {
+            if r.cached_stripes() >= 8 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(r.cached_stripes() >= 8, "prefetch did not fill cache");
+    }
+
+    #[test]
+    fn cache_respects_capacity() {
+        let (pool, _) = setup(10_000, 100);
+        let workers = Some(Arc::new(ThreadPool::new(2, "pf")));
+        let r = StripeReader::new(
+            "/f".into(),
+            StripeLayout::new(100),
+            10_000,
+            Arc::clone(&pool),
+            workers,
+            4,
+            6, // tiny cache
+        );
+        for s in 0..100 {
+            r.stripe(s).unwrap();
+        }
+        assert!(
+            r.cached_stripes() <= 7,
+            "cache grew to {}",
+            r.cached_stripes()
+        );
+    }
+
+    #[test]
+    fn missing_stripe_is_corrupt_metadata() {
+        let (pool, _) = setup(1000, 100);
+        pool.delete_quiet(&KeySchema::stripe_key("/f", 5)).unwrap();
+        let r = reader(&pool, 1000, 100, 0);
+        assert!(matches!(r.stripe(5), Err(MemFsError::CorruptMetadata(_))));
+    }
+
+    #[test]
+    fn concurrent_readers_share_reader() {
+        let (pool, data) = setup(5000, 100);
+        let r = Arc::new(reader(&pool, 5000, 100, 4));
+        let data = Arc::new(data);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                let data = Arc::clone(&data);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let s = (t * 13 + i * 7) % 50;
+                        let got = r.stripe(s).unwrap();
+                        let start = (s as usize) * 100;
+                        assert_eq!(got.as_ref(), &data[start..start + 100]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

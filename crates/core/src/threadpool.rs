@@ -1,0 +1,143 @@
+//! A small fixed-size thread pool over a crossbeam channel.
+//!
+//! Both the write-buffering and the prefetching protocols "work with thread
+//! pools to implement concurrent communication to the remote nodes"
+//! (paper §3.2.2); this is that pool. Jobs are plain closures; completion
+//! signalling is the submitter's business (the write buffer uses a
+//! counter + condvar, the prefetcher a shared cache slot).
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool. Dropping the pool waits for queued jobs to
+/// finish (important: a mount being dropped must not lose buffered
+/// stripes).
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers named `name-<i>`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize, name: &str) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        // The channel closing is the shutdown signal.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job.
+    ///
+    /// # Panics
+    /// Panics if the pool is shutting down (cannot happen through the
+    /// public API: submission requires `&self` while drop takes ownership).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool alive while borrowed")
+            .send(Box::new(job))
+            .expect("pool workers alive while pool is alive");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain remaining jobs and exit.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // waits for completion
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        use std::sync::{Condvar, Mutex};
+        let pool = ThreadPool::new(2, "conc");
+        let rendezvous = Arc::new((Mutex::new(0usize), Condvar::new()));
+        // Two jobs that each wait for the other: only completes if the
+        // pool really runs two jobs in parallel.
+        for _ in 0..2 {
+            let r = Arc::clone(&rendezvous);
+            pool.execute(move || {
+                let (lock, cv) = &*r;
+                let mut n = lock.lock().unwrap();
+                *n += 1;
+                cv.notify_all();
+                while *n < 2 {
+                    n = cv.wait(n).unwrap();
+                }
+            });
+        }
+        drop(pool);
+        assert_eq!(*rendezvous.0.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let pool = ThreadPool::new(1, "drain");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::yield_now();
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        ThreadPool::new(0, "bad");
+    }
+}

@@ -1,0 +1,254 @@
+//! Key-to-server distributors: the modulo scheme MemFS uses, and a
+//! ketama-style consistent-hash ring for elastic membership.
+
+use crate::hash::{fnv1a_32, jenkins_oaat, md5};
+
+/// Index of a storage server within the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub usize);
+
+/// Which base hash the modulo distributor uses (mirrors libmemcached's
+/// selectable hash algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashScheme {
+    /// FNV-1a, libmemcached's default.
+    #[default]
+    Fnv1a,
+    /// Jenkins one-at-a-time.
+    Jenkins,
+}
+
+impl HashScheme {
+    /// Hash `key` to 32 bits with this scheme.
+    pub fn hash(self, key: &[u8]) -> u32 {
+        match self {
+            HashScheme::Fnv1a => fnv1a_32(key),
+            HashScheme::Jenkins => jenkins_oaat(key),
+        }
+    }
+}
+
+/// Maps keys to servers. Implementations must be pure functions of the key
+/// and the configured membership so every client agrees on placement.
+pub trait Distributor: Send + Sync {
+    /// The server that owns `key`.
+    fn server_for(&self, key: &[u8]) -> ServerId;
+    /// Number of servers in the pool.
+    fn n_servers(&self) -> usize;
+}
+
+/// The paper's scheme: `hash(key) mod N` (§3.1.2). Perfectly balanced for
+/// uniformly hashed keys; remaps almost everything when `N` changes.
+#[derive(Debug, Clone)]
+pub struct ModuloRing {
+    n: usize,
+    scheme: HashScheme,
+}
+
+impl ModuloRing {
+    /// A modulo distributor over `n` servers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, scheme: HashScheme) -> Self {
+        assert!(n > 0, "need at least one server");
+        ModuloRing { n, scheme }
+    }
+}
+
+impl Distributor for ModuloRing {
+    fn server_for(&self, key: &[u8]) -> ServerId {
+        ServerId((self.scheme.hash(key) as usize) % self.n)
+    }
+
+    fn n_servers(&self) -> usize {
+        self.n
+    }
+}
+
+/// Ketama-style consistent hashing: each server contributes `points`
+/// virtual positions on a 32-bit ring (derived from MD5, four points per
+/// digest as in libmemcached); a key maps to the first point at or after
+/// its own hash position.
+///
+/// The paper leaves elastic membership to future work but names consistent
+/// hashing as the mechanism; the remapping bound (only ~1/N of keys move
+/// when a server joins) is asserted by this crate's property tests.
+#[derive(Debug, Clone)]
+pub struct KetamaRing {
+    /// Sorted (point, server) pairs.
+    ring: Vec<(u32, ServerId)>,
+    n: usize,
+}
+
+/// Default virtual points per server, matching libmemcached's
+/// `MEMCACHED_POINTS_PER_SERVER_KETAMA` (40 digests x 4 points).
+pub const DEFAULT_POINTS_PER_SERVER: usize = 160;
+
+impl KetamaRing {
+    /// Build a ring for servers named `names` with `points` virtual points
+    /// each (`points` is rounded up to a multiple of 4).
+    ///
+    /// # Panics
+    /// Panics on an empty server list or zero points.
+    pub fn new(names: &[String], points: usize) -> Self {
+        assert!(!names.is_empty(), "need at least one server");
+        assert!(points > 0, "need at least one point per server");
+        let digests_per_server = points.div_ceil(4);
+        let mut ring = Vec::with_capacity(names.len() * digests_per_server * 4);
+        for (idx, name) in names.iter().enumerate() {
+            for d in 0..digests_per_server {
+                let digest = md5(format!("{name}-{d}").as_bytes());
+                for p in 0..4 {
+                    let o = p * 4;
+                    let point = u32::from_le_bytes([
+                        digest[o],
+                        digest[o + 1],
+                        digest[o + 2],
+                        digest[o + 3],
+                    ]);
+                    ring.push((point, ServerId(idx)));
+                }
+            }
+        }
+        ring.sort_unstable();
+        ring.dedup_by_key(|e| e.0);
+        KetamaRing {
+            ring,
+            n: names.len(),
+        }
+    }
+
+    /// Build a ring for `n` anonymous servers (named `server-<i>`).
+    pub fn with_n_servers(n: usize, points: usize) -> Self {
+        let names: Vec<String> = (0..n).map(|i| format!("server-{i}")).collect();
+        KetamaRing::new(&names, points)
+    }
+
+    /// Number of live virtual points (diagnostic).
+    pub fn n_points(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+impl Distributor for KetamaRing {
+    fn server_for(&self, key: &[u8]) -> ServerId {
+        let digest = md5(key);
+        let h = u32::from_le_bytes([digest[0], digest[1], digest[2], digest[3]]);
+        // First point at or after h, wrapping to the start.
+        match self.ring.binary_search_by(|(p, _)| p.cmp(&h)) {
+            Ok(i) => self.ring[i].1,
+            Err(i) if i == self.ring.len() => self.ring[0].1,
+            Err(i) => self.ring[i].1,
+        }
+    }
+
+    fn n_servers(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("/data/file{i}.fits#{}", i % 8)).collect()
+    }
+
+    #[test]
+    fn modulo_covers_all_servers() {
+        let d = ModuloRing::new(8, HashScheme::Fnv1a);
+        let mut seen = [false; 8];
+        for k in keys(1000) {
+            let s = d.server_for(k.as_bytes());
+            assert!(s.0 < 8);
+            seen[s.0] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every server should receive keys");
+    }
+
+    #[test]
+    fn modulo_is_deterministic_across_instances() {
+        let a = ModuloRing::new(16, HashScheme::Fnv1a);
+        let b = ModuloRing::new(16, HashScheme::Fnv1a);
+        for k in keys(200) {
+            assert_eq!(a.server_for(k.as_bytes()), b.server_for(k.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn modulo_schemes_differ() {
+        let f = ModuloRing::new(64, HashScheme::Fnv1a);
+        let j = ModuloRing::new(64, HashScheme::Jenkins);
+        let diff = keys(500)
+            .iter()
+            .filter(|k| f.server_for(k.as_bytes()) != j.server_for(k.as_bytes()))
+            .count();
+        assert!(diff > 300, "schemes should place most keys differently");
+    }
+
+    #[test]
+    fn ketama_covers_all_servers() {
+        let d = KetamaRing::with_n_servers(8, DEFAULT_POINTS_PER_SERVER);
+        let mut counts = [0usize; 8];
+        for k in keys(4000) {
+            counts[d.server_for(k.as_bytes()).0] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "server {i} received no keys");
+        }
+    }
+
+    #[test]
+    fn ketama_ring_size() {
+        let d = KetamaRing::with_n_servers(4, 160);
+        // 4 servers x 160 points, minus rare dedup collisions.
+        assert!(d.n_points() > 600 && d.n_points() <= 640);
+        assert_eq!(d.n_servers(), 4);
+    }
+
+    #[test]
+    fn ketama_remaps_few_keys_on_grow() {
+        let before = KetamaRing::with_n_servers(8, 160);
+        let after = KetamaRing::with_n_servers(9, 160);
+        let ks = keys(5000);
+        let moved = ks
+            .iter()
+            .filter(|k| before.server_for(k.as_bytes()) != after.server_for(k.as_bytes()))
+            .count();
+        // Ideal is 1/9 ≈ 11%; allow generous slack for virtual-point noise.
+        let frac = moved as f64 / ks.len() as f64;
+        assert!(frac < 0.25, "consistent hashing moved {:.0}% of keys", frac * 100.0);
+        assert!(frac > 0.02, "growing the ring must move some keys");
+    }
+
+    #[test]
+    fn modulo_remaps_most_keys_on_grow() {
+        // The contrast motivating ketama for elasticity.
+        let before = ModuloRing::new(8, HashScheme::Fnv1a);
+        let after = ModuloRing::new(9, HashScheme::Fnv1a);
+        let ks = keys(5000);
+        let moved = ks
+            .iter()
+            .filter(|k| before.server_for(k.as_bytes()) != after.server_for(k.as_bytes()))
+            .count();
+        assert!(moved as f64 / ks.len() as f64 > 0.7);
+    }
+
+    #[test]
+    fn single_server_takes_everything() {
+        let m = ModuloRing::new(1, HashScheme::Fnv1a);
+        let k = KetamaRing::with_n_servers(1, 16);
+        for key in keys(50) {
+            assert_eq!(m.server_for(key.as_bytes()), ServerId(0));
+            assert_eq!(k.server_for(key.as_bytes()), ServerId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        ModuloRing::new(0, HashScheme::Fnv1a);
+    }
+}

@@ -1,0 +1,152 @@
+//! MemFS' key naming schema over the key-value store.
+//!
+//! From the paper:
+//!
+//! * stripes — "we use the name of the file concatenated with the stripe
+//!   number as key for the hash" (§3.1.2);
+//! * file metadata — "a special key containing the file name" whose value
+//!   is empty until close and then holds the file size (§3.2.4);
+//! * directory metadata — "a Memcached key using the directory name" whose
+//!   value is an appended log of child names, with deletions recorded as
+//!   tombstone entries (§3.2.4).
+//!
+//! The three namespaces are prefixed (`s:`, `f:`, `d:`) so a file named
+//! like a directory cannot collide, and so diagnostic tools can classify
+//! keys.
+
+/// Prefix for stripe data keys.
+pub const STRIPE_PREFIX: &str = "s:";
+/// Prefix for file-metadata keys.
+pub const FILE_PREFIX: &str = "f:";
+/// Prefix for directory-metadata keys.
+pub const DIR_PREFIX: &str = "d:";
+
+/// Key construction and parsing for the MemFS namespaces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeySchema;
+
+/// Classification of a raw store key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedKey<'a> {
+    /// A data stripe: path + stripe index.
+    Stripe {
+        /// Normalized file path.
+        path: &'a str,
+        /// Zero-based stripe number.
+        index: u64,
+    },
+    /// A file-size metadata record.
+    FileMeta {
+        /// Normalized file path.
+        path: &'a str,
+    },
+    /// A directory log record.
+    DirMeta {
+        /// Normalized directory path.
+        path: &'a str,
+    },
+    /// Not a MemFS key.
+    Foreign,
+}
+
+impl KeySchema {
+    /// Key of stripe `index` of `path` — `s:<path>#<index>`.
+    pub fn stripe_key(path: &str, index: u64) -> Vec<u8> {
+        format!("{STRIPE_PREFIX}{path}#{index}").into_bytes()
+    }
+
+    /// Key of the file-size record of `path` — `f:<path>`.
+    pub fn file_key(path: &str) -> Vec<u8> {
+        format!("{FILE_PREFIX}{path}").into_bytes()
+    }
+
+    /// Key of the directory log of `path` — `d:<path>`.
+    pub fn dir_key(path: &str) -> Vec<u8> {
+        format!("{DIR_PREFIX}{path}").into_bytes()
+    }
+
+    /// Classify a raw key.
+    pub fn parse(key: &[u8]) -> ParsedKey<'_> {
+        let Ok(text) = std::str::from_utf8(key) else {
+            return ParsedKey::Foreign;
+        };
+        if let Some(rest) = text.strip_prefix(STRIPE_PREFIX) {
+            // The stripe index is after the *last* '#', letting paths
+            // contain '#' themselves.
+            if let Some(pos) = rest.rfind('#') {
+                if let Ok(index) = rest[pos + 1..].parse::<u64>() {
+                    return ParsedKey::Stripe {
+                        path: &rest[..pos],
+                        index,
+                    };
+                }
+            }
+            ParsedKey::Foreign
+        } else if let Some(path) = text.strip_prefix(FILE_PREFIX) {
+            ParsedKey::FileMeta { path }
+        } else if let Some(path) = text.strip_prefix(DIR_PREFIX) {
+            ParsedKey::DirMeta { path }
+        } else {
+            ParsedKey::Foreign
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_key_round_trips() {
+        let key = KeySchema::stripe_key("/m17/proj_042.fits", 7);
+        assert_eq!(key, b"s:/m17/proj_042.fits#7".to_vec());
+        assert_eq!(
+            KeySchema::parse(&key),
+            ParsedKey::Stripe {
+                path: "/m17/proj_042.fits",
+                index: 7
+            }
+        );
+    }
+
+    #[test]
+    fn stripe_path_containing_hash_parses() {
+        let key = KeySchema::stripe_key("/odd#name", 3);
+        assert_eq!(
+            KeySchema::parse(&key),
+            ParsedKey::Stripe {
+                path: "/odd#name",
+                index: 3
+            }
+        );
+    }
+
+    #[test]
+    fn file_and_dir_keys_distinct() {
+        let f = KeySchema::file_key("/x");
+        let d = KeySchema::dir_key("/x");
+        assert_ne!(f, d);
+        assert_eq!(KeySchema::parse(&f), ParsedKey::FileMeta { path: "/x" });
+        assert_eq!(KeySchema::parse(&d), ParsedKey::DirMeta { path: "/x" });
+    }
+
+    #[test]
+    fn adjacent_stripes_have_distinct_keys() {
+        assert_ne!(
+            KeySchema::stripe_key("/f", 1),
+            KeySchema::stripe_key("/f", 10)
+        );
+        assert_ne!(
+            KeySchema::stripe_key("/f", 0),
+            KeySchema::stripe_key("/f0", 0)
+        );
+    }
+
+    #[test]
+    fn foreign_keys_classified() {
+        assert_eq!(KeySchema::parse(b"random"), ParsedKey::Foreign);
+        assert_eq!(KeySchema::parse(b"s:nohash"), ParsedKey::Foreign);
+        assert_eq!(KeySchema::parse(b"s:bad#idx"), ParsedKey::Foreign);
+        assert_eq!(KeySchema::parse(&[0xFF, 0xFE]), ParsedKey::Foreign);
+    }
+}

@@ -1,0 +1,378 @@
+//! Client-side access abstraction.
+//!
+//! MemFS programs against [`KvClient`], mirroring the role Libmemcached
+//! plays in the paper: the client owns data placement, the servers are
+//! passive. Implementations:
+//!
+//! * [`LocalClient`] — direct in-process calls into a [`Store`] (a MemFS
+//!   node talking to the server in its own DRAM);
+//! * [`ThrottledClient`] — wraps any client with a real-time latency and
+//!   bandwidth shaper, so single-machine benchmarks reproduce the *shape*
+//!   of remote-server behaviour (used for the Figure 3 experiments);
+//! * [`crate::net::TcpClient`] — the memcached text protocol over TCP, for
+//!   genuinely distributed deployments.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::error::KvResult;
+use crate::store::Store;
+
+/// The operations MemFS needs from a storage server. All methods are
+/// `&self` and implementations must be thread-safe: the write-buffer and
+/// prefetch pools issue concurrent requests.
+pub trait KvClient: Send + Sync {
+    /// Store a value, replacing any existing one.
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()>;
+    /// Store a value only if absent.
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()>;
+    /// Fetch a value.
+    fn get(&self, key: &[u8]) -> KvResult<Bytes>;
+    /// Atomically append to an existing value.
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()>;
+    /// Remove a key.
+    fn delete(&self, key: &[u8]) -> KvResult<()>;
+    /// Whether a key exists (no read traffic accounted).
+    fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_ok()
+    }
+    /// Enumerate every key on the server — needed by the elastic
+    /// rebalancer. Default: unsupported (transports without the `keys`
+    /// protocol extension).
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        Err(crate::error::KvError::Protocol(
+            "key enumeration not supported by this client".into(),
+        ))
+    }
+}
+
+/// Direct in-process access to a [`Store`].
+#[derive(Clone)]
+pub struct LocalClient {
+    store: Arc<Store>,
+}
+
+impl LocalClient {
+    /// Wrap a shared store.
+    pub fn new(store: Arc<Store>) -> Self {
+        LocalClient { store }
+    }
+
+    /// The underlying store (for stats inspection in tests/benches).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+impl KvClient for LocalClient {
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        Ok(self.store.keys().into_iter().map(|k| k.into_vec()).collect())
+    }
+
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.store.set(key, value)
+    }
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.store.add(key, value)
+    }
+    fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        self.store.get(key)
+    }
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        self.store.append(key, suffix)
+    }
+    fn delete(&self, key: &[u8]) -> KvResult<()> {
+        self.store.delete(key)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        self.store.contains(key)
+    }
+}
+
+/// Wall-clock traffic shaping parameters for [`ThrottledClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct Shaping {
+    /// Fixed cost added to every request (round-trip latency).
+    pub latency: Duration,
+    /// Payload bandwidth in bytes per second (`f64::INFINITY` disables).
+    pub bandwidth: f64,
+}
+
+impl Shaping {
+    /// A profile resembling IP-over-InfiniBand: 60 µs RTT, 1 GB/s.
+    pub fn ipoib_like() -> Self {
+        Shaping {
+            latency: Duration::from_micros(60),
+            bandwidth: 1e9,
+        }
+    }
+
+    /// A profile resembling gigabit Ethernet: 200 µs RTT, 117 MB/s.
+    pub fn gbe_like() -> Self {
+        Shaping {
+            latency: Duration::from_micros(200),
+            bandwidth: 117e6,
+        }
+    }
+}
+
+/// Adds real-time latency/bandwidth costs to an inner client by sleeping.
+///
+/// The delay model is per-request: `latency + payload / bandwidth`. This
+/// yields the right *per-stream* behaviour for the single-machine design
+/// experiments (stripe-size sweeps, buffering/prefetching thread scaling)
+/// where the point is overlapping many shaped streams.
+pub struct ThrottledClient<C> {
+    inner: C,
+    shaping: Shaping,
+}
+
+impl<C: KvClient> ThrottledClient<C> {
+    /// Shape `inner` with `shaping`.
+    pub fn new(inner: C, shaping: Shaping) -> Self {
+        ThrottledClient { inner, shaping }
+    }
+
+    /// The wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    fn delay(&self, payload_bytes: usize) {
+        let mut d = self.shaping.latency;
+        if self.shaping.bandwidth.is_finite() && self.shaping.bandwidth > 0.0 {
+            d += Duration::from_secs_f64(payload_bytes as f64 / self.shaping.bandwidth);
+        }
+        if d > Duration::ZERO {
+            precise_sleep(d);
+        }
+    }
+}
+
+/// Sleep with sub-millisecond fidelity: OS sleep for the bulk, then spin
+/// for the tail. OS timers routinely overshoot by ~50 µs, which would
+/// swamp the microsecond-scale latencies being modelled.
+fn precise_sleep(d: Duration) {
+    let start = Instant::now();
+    if d > Duration::from_micros(200) {
+        std::thread::sleep(d - Duration::from_micros(150));
+    }
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+impl<C: KvClient> KvClient for ThrottledClient<C> {
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        self.inner.scan_keys()
+    }
+
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.delay(value.len());
+        self.inner.set(key, value)
+    }
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.delay(value.len());
+        self.inner.add(key, value)
+    }
+    fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        let out = self.inner.get(key);
+        self.delay(out.as_ref().map(|v| v.len()).unwrap_or(0));
+        out
+    }
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        self.delay(suffix.len());
+        self.inner.append(key, suffix)
+    }
+    fn delete(&self, key: &[u8]) -> KvResult<()> {
+        self.delay(0);
+        self.inner.delete(key)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        self.inner.contains(key)
+    }
+}
+
+/// A failure-injection wrapper: while marked down, every operation fails
+/// with an I/O error, emulating a crashed or partitioned storage server.
+/// Used by the fault-tolerance tests to exercise MemFS' replication path
+/// (the paper defers fault tolerance to future work, §3.2.5; this crate
+/// implements the replication option it sketches).
+pub struct FailableClient<C> {
+    inner: C,
+    down: std::sync::atomic::AtomicBool,
+}
+
+impl<C: KvClient> FailableClient<C> {
+    /// Wrap `inner`, initially up.
+    pub fn new(inner: C) -> Self {
+        FailableClient {
+            inner,
+            down: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the server down (true) or back up (false).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the server is currently down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn check(&self) -> KvResult<()> {
+        if self.is_down() {
+            Err(crate::error::KvError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "server down (injected failure)",
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<C: KvClient> KvClient for FailableClient<C> {
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        self.check()?;
+        self.inner.scan_keys()
+    }
+
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.check()?;
+        self.inner.set(key, value)
+    }
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        self.check()?;
+        self.inner.add(key, value)
+    }
+    fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        self.check()?;
+        self.inner.get(key)
+    }
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        self.check()?;
+        self.inner.append(key, suffix)
+    }
+    fn delete(&self, key: &[u8]) -> KvResult<()> {
+        self.check()?;
+        self.inner.delete(key)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        !self.is_down() && self.inner.contains(key)
+    }
+}
+
+/// Blanket impls so `Arc<C>` and `&C` are clients too — MemFS holds its
+/// server pool behind `Arc`s.
+impl<C: KvClient + ?Sized> KvClient for Arc<C> {
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        (**self).scan_keys()
+    }
+
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        (**self).set(key, value)
+    }
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        (**self).add(key, value)
+    }
+    fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        (**self).get(key)
+    }
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        (**self).append(key, suffix)
+    }
+    fn delete(&self, key: &[u8]) -> KvResult<()> {
+        (**self).delete(key)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        (**self).contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn local() -> LocalClient {
+        LocalClient::new(Arc::new(Store::new(StoreConfig::default())))
+    }
+
+    #[test]
+    fn local_client_round_trip() {
+        let c = local();
+        c.set(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(c.get(b"k").unwrap().as_ref(), b"v");
+        assert!(c.contains(b"k"));
+        c.delete(b"k").unwrap();
+        assert!(!c.contains(b"k"));
+    }
+
+    #[test]
+    fn arc_blanket_impl_works() {
+        let c: Arc<dyn KvClient> = Arc::new(local());
+        c.set(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(c.get(b"k").unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn throttled_client_adds_latency() {
+        let shaped = ThrottledClient::new(
+            local(),
+            Shaping {
+                latency: Duration::from_millis(2),
+                bandwidth: f64::INFINITY,
+            },
+        );
+        let start = Instant::now();
+        shaped.set(b"k", Bytes::from_static(b"v")).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn throttled_client_charges_bandwidth() {
+        let shaped = ThrottledClient::new(
+            local(),
+            Shaping {
+                latency: Duration::ZERO,
+                bandwidth: 1e6, // 1 MB/s
+            },
+        );
+        let start = Instant::now();
+        shaped.set(b"k", Bytes::from(vec![0u8; 10_000])).unwrap(); // 10 ms
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn failable_client_toggles() {
+        let c = FailableClient::new(local());
+        c.set(b"k", Bytes::from_static(b"v")).unwrap();
+        c.set_down(true);
+        assert!(matches!(c.get(b"k"), Err(crate::error::KvError::Io(_))));
+        assert!(matches!(c.set(b"x", Bytes::new()), Err(crate::error::KvError::Io(_))));
+        assert!(!c.contains(b"k"));
+        c.set_down(false);
+        assert_eq!(c.get(b"k").unwrap().as_ref(), b"v");
+        assert!(c.contains(b"k"));
+    }
+
+    #[test]
+    fn throttled_semantics_pass_through() {
+        let shaped = ThrottledClient::new(
+            local(),
+            Shaping {
+                latency: Duration::ZERO,
+                bandwidth: f64::INFINITY,
+            },
+        );
+        shaped.set(b"dir", Bytes::from_static(b"a")).unwrap();
+        shaped.append(b"dir", b"b").unwrap();
+        assert_eq!(shaped.get(b"dir").unwrap().as_ref(), b"ab");
+        assert!(shaped.get(b"missing").is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! TCP transport: a thread-per-connection server speaking the memcached
+//! text protocol, and a matching client implementing [`KvClient`].
+//!
+//! This is what turns `memkv` into a real distributed deployment: one
+//! [`KvServer`] per storage node, a [`TcpClient`] per server inside every
+//! MemFS mount (the Libmemcached role). The `tcp_cluster` example runs a
+//! whole striped file system over localhost sockets.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::client::KvClient;
+use crate::error::{KvError, KvResult};
+use crate::proto::{
+    encode_request, encode_response, parse_request, stats_pairs, Parsed, Request, Response,
+};
+use crate::store::Store;
+
+/// Version string reported to `version` commands.
+pub const SERVER_VERSION: &str = "memkv/0.1 (memcached text protocol)";
+
+/// A running TCP storage server.
+pub struct KvServer {
+    store: Arc<Store>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `store` on a background accept loop.
+    pub fn spawn(store: Arc<Store>, addr: impl ToSocketAddrs) -> KvResult<KvServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_store = Arc::clone(&store);
+        let accept_shutdown = Arc::clone(&shutdown);
+        // A short accept timeout lets the loop observe the shutdown flag.
+        listener.set_nonblocking(false)?;
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("memkv-accept-{addr}"))
+            .spawn(move || {
+                accept_loop(listener, accept_store, accept_shutdown);
+            })
+            .expect("spawn accept thread");
+        Ok(KvServer {
+            store,
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store this server fronts.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// connections finish their current request and then close.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept call by connecting once.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, store: Arc<Store>, shutdown: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let store = Arc::clone(&store);
+                let conn_shutdown = Arc::clone(&shutdown);
+                let _ = std::thread::Builder::new()
+                    .name("memkv-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &store, &conn_shutdown);
+                    });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serve one connection until `quit`, EOF, or a fatal error.
+fn serve_connection(stream: TcpStream, store: &Store, shutdown: &AtomicBool) -> KvResult<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 64 * 1024];
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Parse as many pipelined requests as the buffer holds.
+        loop {
+            match parse_request(&buf) {
+                Ok(Parsed::Done(req, consumed)) => {
+                    buf.drain(..consumed);
+                    if matches!(req, Request::Quit) {
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                    let resp = execute(store, req);
+                    writer.write_all(&encode_response(&resp))?;
+                }
+                Ok(Parsed::NeedMore) => break,
+                Err(e) => {
+                    let resp = Response::ClientError(e.to_string());
+                    writer.write_all(&encode_response(&resp))?;
+                    writer.flush()?;
+                    return Err(e);
+                }
+            }
+        }
+        writer.flush()?;
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Apply one request to the store, mapping engine errors to protocol
+/// responses exactly as memcached does.
+pub fn execute(store: &Store, req: Request) -> Response {
+    match req {
+        Request::Set { key, value } => match store.set(&key, value) {
+            Ok(()) => Response::Stored,
+            Err(e) => storage_error(e),
+        },
+        Request::Add { key, value } => match store.add(&key, value) {
+            Ok(()) => Response::Stored,
+            Err(KvError::Exists) => Response::NotStored,
+            Err(e) => storage_error(e),
+        },
+        Request::Append { key, value } => match store.append(&key, &value) {
+            Ok(()) => Response::Stored,
+            Err(KvError::NotFound) => Response::NotStored,
+            Err(e) => storage_error(e),
+        },
+        Request::Cas { key, value, token } => match store.cas(&key, value, token) {
+            Ok(()) => Response::Stored,
+            Err(KvError::CasMismatch) => Response::Exists,
+            Err(KvError::NotFound) => Response::NotFound,
+            Err(e) => storage_error(e),
+        },
+        Request::Get { key } => match store.get(&key) {
+            Ok(value) => Response::Value {
+                key,
+                value,
+                cas: None,
+            },
+            Err(_) => Response::End,
+        },
+        Request::Gets { key } => match store.gets(&key) {
+            Ok((value, cas)) => Response::Value {
+                key,
+                value,
+                cas: Some(cas),
+            },
+            Err(_) => Response::End,
+        },
+        Request::Delete { key } => match store.delete(&key) {
+            Ok(()) => Response::Deleted,
+            Err(_) => Response::NotFound,
+        },
+        Request::FlushAll => {
+            store.flush_all();
+            Response::Ok
+        }
+        Request::Stats => Response::Stats(stats_pairs(&store.stats().snapshot())),
+        Request::Keys => Response::KeyList(
+            store.keys().into_iter().map(|k| k.into_vec()).collect(),
+        ),
+        Request::Version => Response::Version(SERVER_VERSION.to_string()),
+        Request::Quit => Response::Ok, // handled by the connection loop
+    }
+}
+
+fn storage_error(e: KvError) -> Response {
+    match e {
+        KvError::ValueTooLarge { .. } | KvError::OutOfMemory { .. } => {
+            Response::ServerError(e.to_string())
+        }
+        other => Response::ClientError(other.to_string()),
+    }
+}
+
+/// A blocking TCP client for one server, implementing [`KvClient`].
+///
+/// The connection is mutex-guarded so a single `TcpClient` can be shared by
+/// the MemFS thread pools; for higher parallelism create several clients to
+/// the same server (as Libmemcached does with its connection pools).
+pub struct TcpClient {
+    conn: Mutex<Conn>,
+    addr: SocketAddr,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl TcpClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> KvResult<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
+        Ok(TcpClient {
+            conn: Mutex::new(Conn {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: BufWriter::new(stream),
+                buf: Vec::with_capacity(4096),
+            }),
+            addr,
+        })
+    }
+
+    /// Peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Issue a request and wait for its response.
+    pub fn call(&self, req: &Request) -> KvResult<Response> {
+        let mut conn = self.conn.lock();
+        let wire = encode_request(req);
+        conn.writer.write_all(&wire)?;
+        conn.writer.flush()?;
+        read_response(&mut conn)
+    }
+
+    /// Fetch server statistics.
+    pub fn stats(&self) -> KvResult<Vec<(String, String)>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(KvError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// List all keys on the server (the `keys` protocol extension).
+    pub fn keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        match self.call(&Request::Keys)? {
+            Response::KeyList(keys) => Ok(keys),
+            // An empty key list is a bare `END`, indistinguishable on the
+            // wire from a get miss.
+            Response::End => Ok(Vec::new()),
+            other => Err(KvError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetch a value together with its CAS token (`gets`).
+    pub fn gets(&self, key: &[u8]) -> KvResult<(Bytes, u64)> {
+        match self.call(&Request::Gets { key: key.to_vec() })? {
+            Response::Value {
+                value,
+                cas: Some(token),
+                ..
+            } => Ok((value, token)),
+            Response::End => Err(KvError::NotFound),
+            other => Err(KvError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Compare-and-swap: replace `key` only if `token` is still current.
+    pub fn cas(&self, key: &[u8], value: Bytes, token: u64) -> KvResult<()> {
+        match self.call(&Request::Cas {
+            key: key.to_vec(),
+            value,
+            token,
+        })? {
+            Response::Stored => Ok(()),
+            Response::Exists => Err(KvError::CasMismatch),
+            Response::NotFound => Err(KvError::NotFound),
+            other => Err(KvError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// Parse one server response from the connection.
+fn read_response(conn: &mut Conn) -> KvResult<Response> {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if let Some(resp) = try_parse_response(&mut conn.buf)? {
+            return Ok(resp);
+        }
+        let n = conn.reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(KvError::Protocol("server closed connection".into()));
+        }
+        conn.buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Try to parse one response from the front of `buf`, consuming it.
+fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<Option<Response>> {
+    let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") else {
+        return Ok(None);
+    };
+    let line = buf[..line_end].to_vec();
+    let consume_line = line_end + 2;
+
+    let simple = |buf: &mut Vec<u8>, resp: Response| {
+        buf.drain(..consume_line);
+        Ok(Some(resp))
+    };
+
+    if line == b"STORED" {
+        return simple(buf, Response::Stored);
+    }
+    if line == b"NOT_STORED" {
+        return simple(buf, Response::NotStored);
+    }
+    if line == b"EXISTS" {
+        return simple(buf, Response::Exists);
+    }
+    if line == b"NOT_FOUND" {
+        return simple(buf, Response::NotFound);
+    }
+    if line == b"DELETED" {
+        return simple(buf, Response::Deleted);
+    }
+    if line == b"OK" {
+        return simple(buf, Response::Ok);
+    }
+    if line == b"END" {
+        return simple(buf, Response::End);
+    }
+    if let Some(v) = line.strip_prefix(b"VERSION ") {
+        let resp = Response::Version(String::from_utf8_lossy(v).into_owned());
+        return simple(buf, resp);
+    }
+    if let Some(msg) = line.strip_prefix(b"SERVER_ERROR ") {
+        let resp = Response::ServerError(String::from_utf8_lossy(msg).into_owned());
+        return simple(buf, resp);
+    }
+    if let Some(msg) = line.strip_prefix(b"CLIENT_ERROR ") {
+        let resp = Response::ClientError(String::from_utf8_lossy(msg).into_owned());
+        return simple(buf, resp);
+    }
+    if line.starts_with(b"KEY ") {
+        // Collect KEY lines until END.
+        let mut keys = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &buf[pos..];
+            let Some(le) = rest.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(None);
+            };
+            let l = &rest[..le];
+            pos += le + 2;
+            if l == b"END" {
+                buf.drain(..pos);
+                return Ok(Some(Response::KeyList(keys)));
+            }
+            let Some(k) = l.strip_prefix(b"KEY ") else {
+                return Err(KvError::Protocol("malformed key list".into()));
+            };
+            keys.push(k.to_vec());
+        }
+    }
+    if line.starts_with(b"STAT ") {
+        // Collect STAT lines until END.
+        let mut pairs = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &buf[pos..];
+            let Some(le) = rest.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(None);
+            };
+            let l = &rest[..le];
+            pos += le + 2;
+            if l == b"END" {
+                buf.drain(..pos);
+                return Ok(Some(Response::Stats(pairs)));
+            }
+            let Some(kv) = l.strip_prefix(b"STAT ") else {
+                return Err(KvError::Protocol("malformed stats block".into()));
+            };
+            let text = String::from_utf8_lossy(kv);
+            let mut it = text.splitn(2, ' ');
+            let k = it.next().unwrap_or_default().to_string();
+            let v = it.next().unwrap_or_default().to_string();
+            pairs.push((k, v));
+        }
+    }
+    if let Some(rest) = line.strip_prefix(b"VALUE ") {
+        // VALUE <key> <flags> <bytes> [cas]\r\n<data>\r\nEND\r\n
+        let text = String::from_utf8_lossy(rest).into_owned();
+        let toks: Vec<&str> = text.split(' ').collect();
+        if toks.len() < 3 {
+            return Err(KvError::Protocol("malformed VALUE line".into()));
+        }
+        let key = toks[0].as_bytes().to_vec();
+        let nbytes: usize = toks[2]
+            .parse()
+            .map_err(|_| KvError::Protocol("bad VALUE byte count".into()))?;
+        let cas = if toks.len() >= 4 {
+            Some(
+                toks[3]
+                    .parse()
+                    .map_err(|_| KvError::Protocol("bad VALUE cas".into()))?,
+            )
+        } else {
+            None
+        };
+        let need = consume_line + nbytes + 2 + 5; // data + CRLF + "END\r\n"
+        if buf.len() < need {
+            return Ok(None);
+        }
+        let value = Bytes::copy_from_slice(&buf[consume_line..consume_line + nbytes]);
+        if &buf[consume_line + nbytes..consume_line + nbytes + 2] != b"\r\n"
+            || &buf[consume_line + nbytes + 2..need] != b"END\r\n"
+        {
+            return Err(KvError::Protocol("malformed VALUE framing".into()));
+        }
+        buf.drain(..need);
+        return Ok(Some(Response::Value { key, value, cas }));
+    }
+    Err(KvError::Protocol(format!(
+        "unrecognized response line {:?}",
+        String::from_utf8_lossy(&line)
+    )))
+}
+
+impl KvClient for TcpClient {
+    fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
+        self.keys()
+    }
+
+    fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        match self.call(&Request::Set {
+            key: key.to_vec(),
+            value,
+        })? {
+            Response::Stored => Ok(()),
+            other => Err(response_error(other)),
+        }
+    }
+
+    fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        match self.call(&Request::Add {
+            key: key.to_vec(),
+            value,
+        })? {
+            Response::Stored => Ok(()),
+            Response::NotStored => Err(KvError::Exists),
+            other => Err(response_error(other)),
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        match self.call(&Request::Get { key: key.to_vec() })? {
+            Response::Value { value, .. } => Ok(value),
+            Response::End => Err(KvError::NotFound),
+            other => Err(response_error(other)),
+        }
+    }
+
+    fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        match self.call(&Request::Append {
+            key: key.to_vec(),
+            value: Bytes::copy_from_slice(suffix),
+        })? {
+            Response::Stored => Ok(()),
+            Response::NotStored => Err(KvError::NotFound),
+            other => Err(response_error(other)),
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> KvResult<()> {
+        match self.call(&Request::Delete { key: key.to_vec() })? {
+            Response::Deleted => Ok(()),
+            Response::NotFound => Err(KvError::NotFound),
+            other => Err(response_error(other)),
+        }
+    }
+}
+
+fn response_error(resp: Response) -> KvError {
+    match resp {
+        Response::ServerError(msg) | Response::ClientError(msg) => KvError::Protocol(msg),
+        other => KvError::Protocol(format!("unexpected reply {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn spawn_server() -> KvServer {
+        KvServer::spawn(
+            Arc::new(Store::new(StoreConfig::default())),
+            "127.0.0.1:0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.set(b"k", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(client.get(b"k").unwrap().as_ref(), b"hello");
+        client.append(b"k", b" world").unwrap();
+        assert_eq!(client.get(b"k").unwrap().as_ref(), b"hello world");
+        client.delete(b"k").unwrap();
+        assert!(matches!(client.get(b"k"), Err(KvError::NotFound)));
+    }
+
+    #[test]
+    fn tcp_add_semantics() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.add(b"k", Bytes::from_static(b"1")).unwrap();
+        assert!(matches!(
+            client.add(b"k", Bytes::from_static(b"2")),
+            Err(KvError::Exists)
+        ));
+    }
+
+    #[test]
+    fn tcp_binary_values_with_crlf() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        let payload = Bytes::from_static(b"line1\r\nline2\0bin");
+        client.set(b"bin", payload.clone()).unwrap();
+        assert_eq!(client.get(b"bin").unwrap(), payload);
+    }
+
+    #[test]
+    fn tcp_large_value() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        let payload = Bytes::from(vec![0xAB; 2 << 20]); // 2 MiB stripe-ish
+        client.set(b"stripe", payload.clone()).unwrap();
+        assert_eq!(client.get(b"stripe").unwrap(), payload);
+    }
+
+    #[test]
+    fn tcp_stats_reflect_traffic() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.set(b"k", Bytes::from_static(b"v")).unwrap();
+        client.get(b"k").unwrap();
+        let stats = client.stats().unwrap();
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(get("cmd_set"), "1");
+        assert_eq!(get("cmd_get"), "1");
+        assert_eq!(get("curr_items"), "1");
+    }
+
+    #[test]
+    fn multiple_clients_share_server() {
+        let server = spawn_server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let client = TcpClient::connect(addr).unwrap();
+                    for i in 0..50 {
+                        let key = format!("t{t}k{i}");
+                        client
+                            .set(key.as_bytes(), Bytes::from(format!("v{i}")))
+                            .unwrap();
+                        assert_eq!(
+                            client.get(key.as_bytes()).unwrap(),
+                            Bytes::from(format!("v{i}"))
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.store().item_count(), 200);
+    }
+
+    #[test]
+    fn tcp_gets_and_cas() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.set(b"k", Bytes::from_static(b"v1")).unwrap();
+        let (value, token) = client.gets(b"k").unwrap();
+        assert_eq!(value.as_ref(), b"v1");
+        client.cas(b"k", Bytes::from_static(b"v2"), token).unwrap();
+        assert!(matches!(
+            client.cas(b"k", Bytes::from_static(b"v3"), token),
+            Err(KvError::CasMismatch)
+        ));
+        assert_eq!(client.get(b"k").unwrap().as_ref(), b"v2");
+        assert!(matches!(client.gets(b"missing"), Err(KvError::NotFound)));
+    }
+
+    #[test]
+    fn tcp_keys_extension_lists_everything() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            client
+                .set(format!("key{i}").as_bytes(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let mut keys = client.keys().unwrap();
+        keys.sort();
+        assert_eq!(keys.len(), 10);
+        assert_eq!(keys[0], b"key0".to_vec());
+        // Empty server lists nothing.
+        client.call(&Request::FlushAll).unwrap();
+        assert!(client.keys().unwrap().is_empty());
+    }
+
+    #[test]
+    fn server_shutdown_is_idempotent() {
+        let mut server = spawn_server();
+        server.shutdown();
+        server.shutdown();
+    }
+}

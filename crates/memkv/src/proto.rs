@@ -1,0 +1,445 @@
+//! The memcached **text protocol** — the wire format spoken by
+//! [`crate::net::KvServer`] and [`crate::net::TcpClient`].
+//!
+//! Supported commands (the subset MemFS uses, plus diagnostics):
+//!
+//! ```text
+//! set/add/append <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//! cas <key> <flags> <exptime> <bytes> <cas>\r\n<data>\r\n
+//! get <key>\r\n            gets <key>\r\n
+//! delete <key>\r\n         flush_all\r\n
+//! stats\r\n                version\r\n       quit\r\n
+//! ```
+//!
+//! Divergence from memcached: `flags` and `exptime` are parsed and accepted
+//! but not stored — MemFS always sends zeros, and a runtime file system has
+//! no use for expiry. Responses echo `flags = 0`.
+
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+
+use crate::error::{KvError, KvResult};
+use crate::stats::StatsSnapshot;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Set { key: Vec<u8>, value: Bytes },
+    Add { key: Vec<u8>, value: Bytes },
+    Append { key: Vec<u8>, value: Bytes },
+    Cas { key: Vec<u8>, value: Bytes, token: u64 },
+    Get { key: Vec<u8> },
+    Gets { key: Vec<u8> },
+    Delete { key: Vec<u8> },
+    FlushAll,
+    Stats,
+    Version,
+    Quit,
+    /// Non-standard extension: list all keys (`keys\r\n`). memcached has
+    /// no portable enumeration command; MemFS' elastic rebalancer needs
+    /// one, so our server adds it.
+    Keys,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Stored,
+    NotStored,
+    Exists,
+    NotFound,
+    Deleted,
+    Ok,
+    /// `VALUE` + `END` for `get`; `cas` is included for `gets`.
+    Value {
+        key: Vec<u8>,
+        value: Bytes,
+        cas: Option<u64>,
+    },
+    /// Bare `END` — `get` miss.
+    End,
+    Version(String),
+    Stats(Vec<(String, String)>),
+    /// Reply to [`Request::Keys`]: `KEY <key>` lines terminated by `END`.
+    KeyList(Vec<Vec<u8>>),
+    ServerError(String),
+    ClientError(String),
+}
+
+/// Outcome of trying to parse one request from a buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete request consuming `n` bytes of the buffer.
+    Done(Request, usize),
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+fn parse_u64(tok: &[u8]) -> KvResult<u64> {
+    std::str::from_utf8(tok)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| KvError::Protocol(format!("bad integer {:?}", String::from_utf8_lossy(tok))))
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// Returns [`Parsed::NeedMore`] if the command line or its data block is
+/// still incomplete; protocol violations yield [`KvError::Protocol`].
+pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
+    let Some(line_end) = find_crlf(buf) else {
+        // Guard against unbounded garbage before the first CRLF.
+        if buf.len() > 4096 {
+            return Err(KvError::Protocol("command line too long".into()));
+        }
+        return Ok(Parsed::NeedMore);
+    };
+    let line = &buf[..line_end];
+    let after_line = line_end + 2;
+    let toks: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
+    let verb = *toks.first().ok_or_else(|| KvError::Protocol("empty command".into()))?;
+    let args = &toks[1..];
+
+    // Storage commands share the `<key> <flags> <exptime> <bytes> [cas]`
+    // shape followed by a data block.
+    fn parse_storage(args: &[&[u8]], with_cas: bool) -> KvResult<(Vec<u8>, usize, u64)> {
+        let expected = if with_cas { 5 } else { 4 };
+        if args.len() != expected {
+            return Err(KvError::Protocol(format!(
+                "storage command expects {expected} arguments, got {}",
+                args.len()
+            )));
+        }
+        let key = args[0].to_vec();
+        let _flags = parse_u64(args[1])?;
+        let _exptime = parse_u64(args[2])?;
+        let bytes = parse_u64(args[3])? as usize;
+        let token = if with_cas { parse_u64(args[4])? } else { 0 };
+        Ok((key, bytes, token))
+    }
+
+    match verb {
+        b"set" | b"add" | b"append" | b"cas" => {
+            let with_cas = verb == b"cas";
+            let (key, nbytes, token) = parse_storage(args, with_cas)?;
+            let need = after_line + nbytes + 2;
+            if buf.len() < need {
+                return Ok(Parsed::NeedMore);
+            }
+            if &buf[after_line + nbytes..need] != b"\r\n" {
+                return Err(KvError::Protocol("data block not CRLF-terminated".into()));
+            }
+            let value = Bytes::copy_from_slice(&buf[after_line..after_line + nbytes]);
+            let req = match verb {
+                b"set" => Request::Set { key, value },
+                b"add" => Request::Add { key, value },
+                b"append" => Request::Append { key, value },
+                b"cas" => Request::Cas { key, value, token },
+                _ => unreachable!(),
+            };
+            Ok(Parsed::Done(req, need))
+        }
+        b"get" | b"gets" => {
+            if args.len() != 1 {
+                return Err(KvError::Protocol(
+                    "get takes exactly one key (multi-key get not supported)".into(),
+                ));
+            }
+            let key = args[0].to_vec();
+            let req = if verb == b"get" {
+                Request::Get { key }
+            } else {
+                Request::Gets { key }
+            };
+            Ok(Parsed::Done(req, after_line))
+        }
+        b"delete" => {
+            if args.len() != 1 {
+                return Err(KvError::Protocol("delete takes exactly one key".into()));
+            }
+            Ok(Parsed::Done(Request::Delete { key: args[0].to_vec() }, after_line))
+        }
+        b"flush_all" => Ok(Parsed::Done(Request::FlushAll, after_line)),
+        b"keys" => Ok(Parsed::Done(Request::Keys, after_line)),
+        b"stats" => Ok(Parsed::Done(Request::Stats, after_line)),
+        b"version" => Ok(Parsed::Done(Request::Version, after_line)),
+        b"quit" => Ok(Parsed::Done(Request::Quit, after_line)),
+        other => Err(KvError::Protocol(format!(
+            "unknown command {:?}",
+            String::from_utf8_lossy(other)
+        ))),
+    }
+}
+
+/// Encode a request for transmission (client side).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut storage = |verb: &str, key: &[u8], value: &Bytes, cas: Option<u64>| {
+        out.extend_from_slice(verb.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(key);
+        match cas {
+            Some(t) => {
+                let mut s = String::new();
+                let _ = write!(s, " 0 0 {} {}\r\n", value.len(), t);
+                out.extend_from_slice(s.as_bytes());
+            }
+            None => {
+                let mut s = String::new();
+                let _ = write!(s, " 0 0 {}\r\n", value.len());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
+    };
+    match req {
+        Request::Set { key, value } => storage("set", key, value, None),
+        Request::Add { key, value } => storage("add", key, value, None),
+        Request::Append { key, value } => storage("append", key, value, None),
+        Request::Cas { key, value, token } => storage("cas", key, value, Some(*token)),
+        Request::Get { key } => {
+            out.extend_from_slice(b"get ");
+            out.extend_from_slice(key);
+            out.extend_from_slice(b"\r\n");
+        }
+        Request::Gets { key } => {
+            out.extend_from_slice(b"gets ");
+            out.extend_from_slice(key);
+            out.extend_from_slice(b"\r\n");
+        }
+        Request::Delete { key } => {
+            out.extend_from_slice(b"delete ");
+            out.extend_from_slice(key);
+            out.extend_from_slice(b"\r\n");
+        }
+        Request::FlushAll => out.extend_from_slice(b"flush_all\r\n"),
+        Request::Keys => out.extend_from_slice(b"keys\r\n"),
+        Request::Stats => out.extend_from_slice(b"stats\r\n"),
+        Request::Version => out.extend_from_slice(b"version\r\n"),
+        Request::Quit => out.extend_from_slice(b"quit\r\n"),
+    }
+    out
+}
+
+/// Encode a response for transmission (server side).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Stored => out.extend_from_slice(b"STORED\r\n"),
+        Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
+        Response::Exists => out.extend_from_slice(b"EXISTS\r\n"),
+        Response::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+        Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+        Response::Ok => out.extend_from_slice(b"OK\r\n"),
+        Response::End => out.extend_from_slice(b"END\r\n"),
+        Response::Value { key, value, cas } => {
+            out.extend_from_slice(b"VALUE ");
+            out.extend_from_slice(key);
+            let mut s = String::new();
+            match cas {
+                Some(t) => {
+                    let _ = write!(s, " 0 {} {}\r\n", value.len(), t);
+                }
+                None => {
+                    let _ = write!(s, " 0 {}\r\n", value.len());
+                }
+            }
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(value);
+            out.extend_from_slice(b"\r\nEND\r\n");
+        }
+        Response::Version(v) => {
+            out.extend_from_slice(b"VERSION ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Response::Stats(pairs) => {
+            for (k, v) in pairs {
+                let mut s = String::new();
+                let _ = write!(s, "STAT {k} {v}\r\n");
+                out.extend_from_slice(s.as_bytes());
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Response::KeyList(keys) => {
+            for k in keys {
+                out.extend_from_slice(b"KEY ");
+                out.extend_from_slice(k);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
+        }
+        Response::ServerError(msg) => {
+            out.extend_from_slice(b"SERVER_ERROR ");
+            out.extend_from_slice(msg.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Response::ClientError(msg) => {
+            out.extend_from_slice(b"CLIENT_ERROR ");
+            out.extend_from_slice(msg.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+    out
+}
+
+/// Render a stats snapshot as memcached-style `STAT` pairs.
+pub fn stats_pairs(snap: &StatsSnapshot) -> Vec<(String, String)> {
+    vec![
+        ("cmd_get".into(), snap.get_ops.to_string()),
+        ("get_hits".into(), snap.get_hits.to_string()),
+        ("get_misses".into(), (snap.get_ops - snap.get_hits).to_string()),
+        ("cmd_set".into(), snap.set_ops.to_string()),
+        ("cmd_add".into(), snap.add_ops.to_string()),
+        ("cmd_append".into(), snap.append_ops.to_string()),
+        ("cmd_delete".into(), snap.delete_ops.to_string()),
+        ("cas_hits".into(), (snap.cas_ops - snap.cas_misses).to_string()),
+        ("cas_misses".into(), snap.cas_misses.to_string()),
+        ("evictions".into(), snap.evictions.to_string()),
+        ("bytes".into(), snap.bytes_used.to_string()),
+        ("curr_items".into(), snap.item_count.to_string()),
+        ("bytes_written".into(), snap.bytes_written.to_string()),
+        ("bytes_read".into(), snap.bytes_read.to_string()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf).unwrap() {
+            Parsed::Done(r, n) => (r, n),
+            Parsed::NeedMore => panic!("unexpected NeedMore"),
+        }
+    }
+
+    #[test]
+    fn parse_set_round_trips_through_encode() {
+        let req = Request::Set {
+            key: b"file#0".to_vec(),
+            value: Bytes::from_static(b"hello world"),
+        };
+        let wire = encode_request(&req);
+        let (parsed, n) = done(&wire);
+        assert_eq!(parsed, req);
+        assert_eq!(n, wire.len());
+    }
+
+    #[test]
+    fn parse_all_verbs_round_trip() {
+        let reqs = vec![
+            Request::Add {
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"v"),
+            },
+            Request::Append {
+                key: b"dir".to_vec(),
+                value: Bytes::from_static(b"+x"),
+            },
+            Request::Cas {
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"v2"),
+                token: 42,
+            },
+            Request::Get { key: b"k".to_vec() },
+            Request::Gets { key: b"k".to_vec() },
+            Request::Delete { key: b"k".to_vec() },
+            Request::FlushAll,
+            Request::Keys,
+            Request::Stats,
+            Request::Version,
+            Request::Quit,
+        ];
+        for req in reqs {
+            let wire = encode_request(&req);
+            let (parsed, n) = done(&wire);
+            assert_eq!(parsed, req);
+            assert_eq!(n, wire.len());
+        }
+    }
+
+    #[test]
+    fn incomplete_command_needs_more() {
+        assert_eq!(parse_request(b"set k 0 0 5").unwrap(), Parsed::NeedMore);
+        assert_eq!(parse_request(b"set k 0 0 5\r\nhel").unwrap(), Parsed::NeedMore);
+        // Data present but missing trailing CRLF.
+        assert_eq!(parse_request(b"set k 0 0 5\r\nhello").unwrap(), Parsed::NeedMore);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let mut wire = encode_request(&Request::Set {
+            key: b"a".to_vec(),
+            value: Bytes::from_static(b"1"),
+        });
+        wire.extend(encode_request(&Request::Get { key: b"a".to_vec() }));
+        let (r1, n1) = done(&wire);
+        assert!(matches!(r1, Request::Set { .. }));
+        let (r2, _) = done(&wire[n1..]);
+        assert_eq!(r2, Request::Get { key: b"a".to_vec() });
+    }
+
+    #[test]
+    fn binary_safe_values() {
+        // Values may contain CRLF; the byte count disambiguates.
+        let req = Request::Set {
+            key: b"bin".to_vec(),
+            value: Bytes::from_static(b"a\r\nb\0c"),
+        };
+        let wire = encode_request(&req);
+        let (parsed, n) = done(&wire);
+        assert_eq!(parsed, req);
+        assert_eq!(n, wire.len());
+    }
+
+    #[test]
+    fn protocol_errors() {
+        assert!(parse_request(b"bogus cmd\r\n").is_err());
+        assert!(parse_request(b"set k x 0 5\r\nhello\r\n").is_err());
+        assert!(parse_request(b"set k 0 0 5 junk extra\r\nhello\r\n").is_err());
+        assert!(parse_request(b"get\r\n").is_err());
+        // Data block with wrong terminator.
+        assert!(parse_request(b"set k 0 0 5\r\nhelloXX").is_err());
+    }
+
+    #[test]
+    fn oversized_garbage_line_rejected() {
+        let garbage = vec![b'x'; 5000];
+        assert!(parse_request(&garbage).is_err());
+    }
+
+    #[test]
+    fn encode_value_response_includes_cas_for_gets() {
+        let with = encode_response(&Response::Value {
+            key: b"k".to_vec(),
+            value: Bytes::from_static(b"vv"),
+            cas: Some(7),
+        });
+        assert_eq!(with, b"VALUE k 0 2 7\r\nvv\r\nEND\r\n".to_vec());
+        let without = encode_response(&Response::Value {
+            key: b"k".to_vec(),
+            value: Bytes::from_static(b"vv"),
+            cas: None,
+        });
+        assert_eq!(without, b"VALUE k 0 2\r\nvv\r\nEND\r\n".to_vec());
+    }
+
+    #[test]
+    fn stats_pairs_render() {
+        let snap = StatsSnapshot {
+            get_ops: 10,
+            get_hits: 8,
+            ..Default::default()
+        };
+        let pairs = stats_pairs(&snap);
+        assert!(pairs.contains(&("cmd_get".to_string(), "10".to_string())));
+        assert!(pairs.contains(&("get_misses".to_string(), "2".to_string())));
+    }
+}

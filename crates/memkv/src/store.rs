@@ -1,0 +1,714 @@
+//! The in-memory store engine: a sharded hash table with memcached
+//! semantics, atomic append, CAS, per-item size limits and a memory budget
+//! with either hard errors or LRU eviction.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use crate::error::{KvError, KvResult};
+use crate::stats::StoreStats;
+
+/// Maximum key length, matching memcached's classic limit.
+pub const MAX_KEY_LEN: usize = 250;
+
+/// Fixed bookkeeping overhead charged per item against the memory budget
+/// (hash-table slot, CAS token, LRU entry — memcached charges a similar
+/// item-header cost).
+pub const ITEM_OVERHEAD: u64 = 64;
+
+/// What to do when an insert would exceed the memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Fail the insert with [`KvError::OutOfMemory`]. This is the mode a
+    /// runtime file system needs: silently dropping an intermediate file
+    /// would corrupt the workflow, so MemFS prefers a loud error (the
+    /// paper runs memcached with eviction effectively never triggering by
+    /// sizing the deployment; AMFS *crashes* in the same situation, §4.2.1).
+    Error,
+    /// Evict least-recently-used items until the new value fits, like a
+    /// plain memcached cache deployment.
+    Lru,
+}
+
+/// Store construction parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Total memory budget in bytes (values + keys + per-item overhead).
+    pub memory_budget: u64,
+    /// Per-item size limit. Memcached historically caps items (the paper
+    /// mentions a 128 MB object limit, §3.2.1); MemFS stripes files so it
+    /// never hits this.
+    pub max_value_size: usize,
+    /// Behaviour when the budget is exhausted.
+    pub eviction: EvictionPolicy,
+    /// Number of independent shards (power of two recommended).
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            memory_budget: 4 << 30,       // 4 GiB
+            max_value_size: 128 << 20,    // 128 MiB, the paper's figure
+            eviction: EvictionPolicy::Error,
+            shards: 16,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Bytes,
+    cas: u64,
+    /// Generation stamp for the lazy LRU queue.
+    lru_gen: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Box<[u8]>, Entry>,
+    /// Lazy LRU queue of (key, generation). Stale generations are skipped
+    /// at eviction time; the queue is compacted when it grows past 2x the
+    /// live item count.
+    lru: VecDeque<(Box<[u8]>, u64)>,
+}
+
+/// A single memcached-style storage server's engine.
+///
+/// Thread-safe; all operations take `&self`. `append` is atomic with
+/// respect to concurrent appends to the same key — the property MemFS'
+/// directory protocol builds on.
+pub struct Store {
+    config: StoreConfig,
+    shards: Vec<RwLock<Shard>>,
+    stats: StoreStats,
+    cas_counter: AtomicU64,
+    lru_clock: AtomicU64,
+}
+
+impl Store {
+    /// Create a store with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store needs at least one shard");
+        let shards = (0..config.shards).map(|_| RwLock::new(Shard::default())).collect();
+        Store {
+            config,
+            shards,
+            stats: StoreStats::default(),
+            cas_counter: AtomicU64::new(1),
+            lru_clock: AtomicU64::new(1),
+        }
+    }
+
+    /// Create a store with [`StoreConfig::default`].
+    pub fn with_defaults() -> Self {
+        Store::new(StoreConfig::default())
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Operation counters and occupancy gauges.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Current bytes charged against the budget.
+    pub fn bytes_used(&self) -> u64 {
+        self.stats.snapshot().bytes_used
+    }
+
+    /// Number of live items.
+    pub fn item_count(&self) -> u64 {
+        self.stats.snapshot().item_count
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &RwLock<Shard> {
+        // FNV-1a; shard count is small so low bits suffice.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn validate_key(key: &[u8]) -> KvResult<()> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(KvError::KeyTooLong(key.len()));
+        }
+        if key.is_empty() || key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+            return Err(KvError::BadKey);
+        }
+        Ok(())
+    }
+
+    fn charge(key: &[u8], value_len: usize) -> u64 {
+        key.len() as u64 + value_len as u64 + ITEM_OVERHEAD
+    }
+
+    /// Reserve `needed` bytes against the budget, evicting if permitted.
+    /// Must be called *before* inserting. Returns Err without side effects
+    /// when the policy is `Error` and the budget is insufficient.
+    fn reserve(&self, needed: u64) -> KvResult<()> {
+        loop {
+            let used = self.stats.bytes_used.load(Ordering::Relaxed);
+            if used + needed <= self.config.memory_budget {
+                // Optimistically claim; competing writers may overshoot by
+                // one item transiently, which mirrors memcached's own
+                // slack accounting.
+                StoreStats::add(&self.stats.bytes_used, needed);
+                return Ok(());
+            }
+            match self.config.eviction {
+                EvictionPolicy::Error => {
+                    return Err(KvError::OutOfMemory {
+                        needed,
+                        budget: self.config.memory_budget,
+                    })
+                }
+                EvictionPolicy::Lru => {
+                    if !self.evict_one() {
+                        return Err(KvError::OutOfMemory {
+                            needed,
+                            budget: self.config.memory_budget,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict the globally least-recently-used item. Returns false when no
+    /// shard holds anything evictable.
+    fn evict_one(&self) -> bool {
+        // Pass 1: discard stale queue entries and find the shard whose
+        // oldest *live* entry has the smallest generation (global LRU).
+        let mut victim_shard: Option<usize> = None;
+        let mut victim_gen = u64::MAX;
+        for i in 0..self.shards.len() {
+            let mut shard = self.shards[i].write();
+            while let Some((key, gen)) = shard.lru.front() {
+                let live = shard
+                    .map
+                    .get(key.as_ref())
+                    .is_some_and(|e| e.lru_gen == *gen);
+                if live {
+                    if *gen < victim_gen {
+                        victim_gen = *gen;
+                        victim_shard = Some(i);
+                    }
+                    break;
+                }
+                shard.lru.pop_front();
+            }
+        }
+        let Some(i) = victim_shard else {
+            return false;
+        };
+        // Pass 2: evict that shard's front live entry. A concurrent access
+        // may have refreshed it in between; re-walk the queue if so.
+        let mut shard = self.shards[i].write();
+        while let Some((key, gen)) = shard.lru.pop_front() {
+            let live = shard
+                .map
+                .get(key.as_ref())
+                .is_some_and(|e| e.lru_gen == gen);
+            if live {
+                let entry = shard.map.remove(key.as_ref()).expect("checked live");
+                let freed = Self::charge(&key, entry.value.len());
+                StoreStats::sub(&self.stats.bytes_used, freed);
+                StoreStats::sub(&self.stats.item_count, 1);
+                StoreStats::bump(&self.stats.evictions);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn next_cas(&self) -> u64 {
+        self.cas_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn touch_lru(&self, shard: &mut Shard, key: &[u8]) {
+        let gen = self.lru_clock.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = shard.map.get_mut(key) {
+            e.lru_gen = gen;
+        }
+        shard.lru.push_back((key.into(), gen));
+        // Compact the lazy queue when it is mostly stale.
+        if shard.lru.len() > 64 && shard.lru.len() > 2 * shard.map.len() {
+            let map = &shard.map;
+            shard
+                .lru
+                .retain(|(k, g)| map.get(k.as_ref()).is_some_and(|e| e.lru_gen == *g));
+        }
+    }
+
+    /// Store `value` under `key`, replacing any previous value.
+    pub fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        Self::validate_key(key)?;
+        if value.len() > self.config.max_value_size {
+            return Err(KvError::ValueTooLarge {
+                size: value.len(),
+                limit: self.config.max_value_size,
+            });
+        }
+        StoreStats::bump(&self.stats.set_ops);
+        StoreStats::add(&self.stats.bytes_written, value.len() as u64);
+        let charge = Self::charge(key, value.len());
+        self.reserve(charge)?;
+        let cas = self.next_cas();
+        let mut shard = self.shard_for(key).write();
+        let old = shard.map.insert(
+            key.into(),
+            Entry {
+                value,
+                cas,
+                lru_gen: 0,
+            },
+        );
+        match old {
+            Some(e) => {
+                // We charged for a fresh item; release the replaced one.
+                StoreStats::sub(&self.stats.bytes_used, Self::charge(key, e.value.len()));
+            }
+            None => StoreStats::add(&self.stats.item_count, 1),
+        }
+        self.touch_lru(&mut shard, key);
+        Ok(())
+    }
+
+    /// Store `value` under `key` only if the key does not exist.
+    pub fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        Self::validate_key(key)?;
+        if value.len() > self.config.max_value_size {
+            return Err(KvError::ValueTooLarge {
+                size: value.len(),
+                limit: self.config.max_value_size,
+            });
+        }
+        StoreStats::bump(&self.stats.add_ops);
+        let charge = Self::charge(key, value.len());
+        self.reserve(charge)?;
+        let cas = self.next_cas();
+        let mut shard = self.shard_for(key).write();
+        if shard.map.contains_key(key) {
+            drop(shard);
+            StoreStats::sub(&self.stats.bytes_used, charge);
+            return Err(KvError::Exists);
+        }
+        StoreStats::add(&self.stats.bytes_written, value.len() as u64);
+        shard.map.insert(
+            key.into(),
+            Entry {
+                value,
+                cas,
+                lru_gen: 0,
+            },
+        );
+        StoreStats::add(&self.stats.item_count, 1);
+        self.touch_lru(&mut shard, key);
+        Ok(())
+    }
+
+    /// Fetch the value stored under `key`. Zero-copy: the returned
+    /// [`Bytes`] shares the stored buffer.
+    pub fn get(&self, key: &[u8]) -> KvResult<Bytes> {
+        Self::validate_key(key)?;
+        StoreStats::bump(&self.stats.get_ops);
+        let mut shard = self.shard_for(key).write();
+        match shard.map.get(key) {
+            Some(e) => {
+                let value = e.value.clone();
+                StoreStats::bump(&self.stats.get_hits);
+                StoreStats::add(&self.stats.bytes_read, value.len() as u64);
+                self.touch_lru(&mut shard, key);
+                Ok(value)
+            }
+            None => Err(KvError::NotFound),
+        }
+    }
+
+    /// Fetch value and CAS token together (`gets` in the wire protocol).
+    pub fn gets(&self, key: &[u8]) -> KvResult<(Bytes, u64)> {
+        Self::validate_key(key)?;
+        StoreStats::bump(&self.stats.get_ops);
+        let mut shard = self.shard_for(key).write();
+        match shard.map.get(key) {
+            Some(e) => {
+                let out = (e.value.clone(), e.cas);
+                StoreStats::bump(&self.stats.get_hits);
+                StoreStats::add(&self.stats.bytes_read, out.0.len() as u64);
+                self.touch_lru(&mut shard, key);
+                Ok(out)
+            }
+            None => Err(KvError::NotFound),
+        }
+    }
+
+    /// Atomically append `suffix` to the value under `key`.
+    ///
+    /// This is the operation the MemFS directory protocol relies on
+    /// (paper §3.2.4: "the Memcached append function that is internally
+    /// atomic and synchronized"). Fails with [`KvError::NotFound`] if the
+    /// key does not exist, as memcached's `append` does (`NOT_STORED`).
+    pub fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
+        Self::validate_key(key)?;
+        StoreStats::bump(&self.stats.append_ops);
+        let extra = suffix.len() as u64;
+        self.reserve(extra)?;
+        let cas = self.next_cas();
+        let mut shard = self.shard_for(key).write();
+        let Some(entry) = shard.map.get_mut(key) else {
+            drop(shard);
+            StoreStats::sub(&self.stats.bytes_used, extra);
+            return Err(KvError::NotFound);
+        };
+        let new_len = entry.value.len() + suffix.len();
+        if new_len > self.config.max_value_size {
+            let size = new_len;
+            drop(shard);
+            StoreStats::sub(&self.stats.bytes_used, extra);
+            return Err(KvError::ValueTooLarge {
+                size,
+                limit: self.config.max_value_size,
+            });
+        }
+        let mut buf = BytesMut::with_capacity(new_len);
+        buf.extend_from_slice(&entry.value);
+        buf.extend_from_slice(suffix);
+        entry.value = buf.freeze();
+        entry.cas = cas;
+        StoreStats::add(&self.stats.bytes_written, extra);
+        self.touch_lru(&mut shard, key);
+        Ok(())
+    }
+
+    /// Replace the value only if `token` matches the current CAS token.
+    pub fn cas(&self, key: &[u8], value: Bytes, token: u64) -> KvResult<()> {
+        Self::validate_key(key)?;
+        if value.len() > self.config.max_value_size {
+            return Err(KvError::ValueTooLarge {
+                size: value.len(),
+                limit: self.config.max_value_size,
+            });
+        }
+        StoreStats::bump(&self.stats.cas_ops);
+        let charge = Self::charge(key, value.len());
+        self.reserve(charge)?;
+        let new_cas = self.next_cas();
+        let mut shard = self.shard_for(key).write();
+        let Some(entry) = shard.map.get_mut(key) else {
+            drop(shard);
+            StoreStats::sub(&self.stats.bytes_used, charge);
+            return Err(KvError::NotFound);
+        };
+        if entry.cas != token {
+            drop(shard);
+            StoreStats::sub(&self.stats.bytes_used, charge);
+            StoreStats::bump(&self.stats.cas_misses);
+            return Err(KvError::CasMismatch);
+        }
+        let old_charge = Self::charge(key, entry.value.len());
+        StoreStats::add(&self.stats.bytes_written, value.len() as u64);
+        entry.value = value;
+        entry.cas = new_cas;
+        StoreStats::sub(&self.stats.bytes_used, old_charge);
+        self.touch_lru(&mut shard, key);
+        Ok(())
+    }
+
+    /// Remove `key`, freeing its budget charge.
+    pub fn delete(&self, key: &[u8]) -> KvResult<()> {
+        Self::validate_key(key)?;
+        StoreStats::bump(&self.stats.delete_ops);
+        let mut shard = self.shard_for(key).write();
+        match shard.map.remove(key) {
+            Some(e) => {
+                StoreStats::sub(&self.stats.bytes_used, Self::charge(key, e.value.len()));
+                StoreStats::sub(&self.stats.item_count, 1);
+                Ok(())
+            }
+            None => Err(KvError::NotFound),
+        }
+    }
+
+    /// Whether `key` currently exists (does not count as a `get`).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        Store::validate_key(key).is_ok() && self.shard_for(key).read().map.contains_key(key)
+    }
+
+    /// Remove every item (memcached `flush_all`).
+    pub fn flush_all(&self) {
+        for shard in &self.shards {
+            let mut s = shard.write();
+            for (k, e) in s.map.drain() {
+                StoreStats::sub(&self.stats.bytes_used, Self::charge(&k, e.value.len()));
+                StoreStats::sub(&self.stats.item_count, 1);
+            }
+            s.lru.clear();
+        }
+    }
+
+    /// List all keys (diagnostic; used by balance tests). Order is
+    /// unspecified.
+    pub fn keys(&self) -> Vec<Box<[u8]>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().map.keys().cloned());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("items", &self.item_count())
+            .field("bytes_used", &self.bytes_used())
+            .field("budget", &self.config.memory_budget)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store(budget: u64, eviction: EvictionPolicy) -> Store {
+        Store::new(StoreConfig {
+            memory_budget: budget,
+            max_value_size: 1024,
+            eviction,
+            shards: 4,
+        })
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let s = Store::with_defaults();
+        s.set(b"alpha", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get(b"alpha").unwrap().as_ref(), b"hello");
+        assert_eq!(s.item_count(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let s = Store::with_defaults();
+        assert!(matches!(s.get(b"nope"), Err(KvError::NotFound)));
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.get_ops, 1);
+        assert_eq!(snap.get_hits, 0);
+    }
+
+    #[test]
+    fn set_replaces_and_accounts_memory() {
+        let s = Store::with_defaults();
+        s.set(b"k", Bytes::from(vec![0u8; 100])).unwrap();
+        let used_before = s.bytes_used();
+        s.set(b"k", Bytes::from(vec![0u8; 10])).unwrap();
+        assert_eq!(s.item_count(), 1);
+        assert_eq!(s.bytes_used(), used_before - 90);
+    }
+
+    #[test]
+    fn add_fails_on_existing_key() {
+        let s = Store::with_defaults();
+        s.add(b"k", Bytes::from_static(b"v1")).unwrap();
+        assert!(matches!(s.add(b"k", Bytes::from_static(b"v2")), Err(KvError::Exists)));
+        assert_eq!(s.get(b"k").unwrap().as_ref(), b"v1");
+    }
+
+    #[test]
+    fn append_extends_existing_value() {
+        let s = Store::with_defaults();
+        s.set(b"dir", Bytes::from_static(b"+a\n")).unwrap();
+        s.append(b"dir", b"+b\n").unwrap();
+        s.append(b"dir", b"-a\n").unwrap();
+        assert_eq!(s.get(b"dir").unwrap().as_ref(), b"+a\n+b\n-a\n");
+    }
+
+    #[test]
+    fn append_to_missing_key_fails() {
+        let s = Store::with_defaults();
+        assert!(matches!(s.append(b"dir", b"x"), Err(KvError::NotFound)));
+        // Budget must not leak.
+        assert_eq!(s.bytes_used(), 0);
+    }
+
+    #[test]
+    fn delete_frees_budget() {
+        let s = Store::with_defaults();
+        s.set(b"k", Bytes::from(vec![1u8; 500])).unwrap();
+        assert!(s.bytes_used() > 0);
+        s.delete(b"k").unwrap();
+        assert_eq!(s.bytes_used(), 0);
+        assert_eq!(s.item_count(), 0);
+        assert!(matches!(s.delete(b"k"), Err(KvError::NotFound)));
+    }
+
+    #[test]
+    fn cas_succeeds_with_token_and_fails_without() {
+        let s = Store::with_defaults();
+        s.set(b"k", Bytes::from_static(b"v1")).unwrap();
+        let (_, token) = s.gets(b"k").unwrap();
+        s.cas(b"k", Bytes::from_static(b"v2"), token).unwrap();
+        assert!(matches!(
+            s.cas(b"k", Bytes::from_static(b"v3"), token),
+            Err(KvError::CasMismatch)
+        ));
+        assert_eq!(s.get(b"k").unwrap().as_ref(), b"v2");
+        assert_eq!(s.stats().snapshot().cas_misses, 1);
+    }
+
+    #[test]
+    fn value_size_limit_enforced() {
+        let s = small_store(1 << 20, EvictionPolicy::Error);
+        let big = Bytes::from(vec![0u8; 2000]);
+        assert!(matches!(s.set(b"k", big), Err(KvError::ValueTooLarge { .. })));
+    }
+
+    #[test]
+    fn append_respects_value_size_limit() {
+        let s = small_store(1 << 20, EvictionPolicy::Error);
+        s.set(b"k", Bytes::from(vec![0u8; 1000])).unwrap();
+        let used = s.bytes_used();
+        assert!(matches!(
+            s.append(b"k", &[0u8; 100]),
+            Err(KvError::ValueTooLarge { .. })
+        ));
+        assert_eq!(s.bytes_used(), used, "failed append must not leak budget");
+    }
+
+    #[test]
+    fn key_validation() {
+        let s = Store::with_defaults();
+        let long = vec![b'a'; 251];
+        assert!(matches!(s.set(&long, Bytes::new()), Err(KvError::KeyTooLong(251))));
+        assert!(matches!(s.set(b"has space", Bytes::new()), Err(KvError::BadKey)));
+        assert!(matches!(s.set(b"", Bytes::new()), Err(KvError::BadKey)));
+        assert!(matches!(s.set(b"ctl\x01", Bytes::new()), Err(KvError::BadKey)));
+    }
+
+    #[test]
+    fn error_policy_rejects_when_full() {
+        let s = small_store(400, EvictionPolicy::Error);
+        s.set(b"a", Bytes::from(vec![0u8; 200])).unwrap();
+        let r = s.set(b"b", Bytes::from(vec![0u8; 200]));
+        assert!(matches!(r, Err(KvError::OutOfMemory { .. })));
+        // First item untouched.
+        assert_eq!(s.get(b"a").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn lru_policy_evicts_oldest() {
+        // Each item charges 1 (key) + 200 (value) + 64 (overhead) = 265
+        // bytes; a 700-byte budget holds two items but not three.
+        let s = small_store(700, EvictionPolicy::Lru);
+        s.set(b"a", Bytes::from(vec![0u8; 200])).unwrap();
+        s.set(b"b", Bytes::from(vec![0u8; 200])).unwrap();
+        // Touch "a" so "b" is the LRU victim.
+        s.get(b"a").unwrap();
+        s.set(b"c", Bytes::from(vec![0u8; 200])).unwrap();
+        assert!(s.contains(b"a"));
+        assert!(s.contains(b"c"));
+        assert!(!s.contains(b"b"), "LRU victim should be evicted");
+        assert_eq!(s.stats().snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn lru_eviction_gives_up_when_item_cannot_fit() {
+        let s = small_store(300, EvictionPolicy::Lru);
+        s.set(b"a", Bytes::from(vec![0u8; 100])).unwrap();
+        // 1000-byte value can never fit in a 300-byte budget.
+        let r = s.set(b"big", Bytes::from(vec![0u8; 1000]));
+        assert!(matches!(r, Err(KvError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn flush_all_clears_everything() {
+        let s = Store::with_defaults();
+        for i in 0..100u32 {
+            s.set(format!("key{i}").as_bytes(), Bytes::from(vec![0u8; 10]))
+                .unwrap();
+        }
+        assert_eq!(s.item_count(), 100);
+        s.flush_all();
+        assert_eq!(s.item_count(), 0);
+        assert_eq!(s.bytes_used(), 0);
+        assert!(s.keys().is_empty());
+    }
+
+    #[test]
+    fn get_is_zero_copy() {
+        let s = Store::with_defaults();
+        let payload = Bytes::from(vec![7u8; 1 << 16]);
+        s.set(b"k", payload).unwrap();
+        let a = s.get(b"k").unwrap();
+        let b = s.get(b"k").unwrap();
+        // Same backing buffer.
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn concurrent_appends_are_atomic() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::with_defaults());
+        s.set(b"log", Bytes::new()).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let rec = format!("[{t}:{i}]");
+                        s.append(b"log", rec.as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let log = s.get(b"log").unwrap();
+        let text = std::str::from_utf8(&log).unwrap();
+        // Every record must appear exactly once, untorn.
+        for t in 0..8 {
+            for i in 0..100 {
+                let rec = format!("[{t}:{i}]");
+                assert_eq!(text.matches(&rec).count(), 1, "record {rec} torn or lost");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_set_get_different_keys() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::with_defaults());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("t{t}-k{i}");
+                        let val = Bytes::from(format!("v{t}-{i}"));
+                        s.set(key.as_bytes(), val.clone()).unwrap();
+                        assert_eq!(s.get(key.as_bytes()).unwrap(), val);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(s.item_count(), 8 * 200);
+    }
+}

@@ -1,0 +1,140 @@
+//! Calibration constants for the simulation and the analytic envelope.
+//!
+//! The paper reports end-to-end numbers on real hardware; our substrate is
+//! a simulator, so a small set of software-path constants must be chosen.
+//! Each constant below is tied to a paper observation (quoted) and the
+//! value is fitted so the corresponding headline number lands in the
+//! paper's range — EXPERIMENTS.md records the residuals. None of the
+//! constants differ between MemFS and AMFS except where the paper
+//! explicitly attributes a cost to one system's design (local writes,
+//! locality-aware scheduling, multicast, replication).
+
+/// memcached executes `set` slower than `get` ("Memcached is reported to
+/// perform better for get rather than set", §4.1).
+pub const SET_COST_FACTOR: f64 = 1.5;
+
+/// All-to-all efficiency of striped *writes* relative to the NIC line
+/// rate (TCP incast and memcached server CPU under N-to-N traffic).
+/// Fitted to Table 1: MemFS write 27.4 GB/s over 64 IPoIB nodes =>
+/// ~428 MB/s per node on a ~1 GB/s NIC.
+pub const A2A_WRITE_EFF: f64 = 0.45;
+
+/// All-to-all efficiency of striped *reads* for small/medium files.
+/// Fitted to Table 1: MemFS 1-1 read 29.7 GB/s over 64 nodes.
+pub const A2A_READ_EFF: f64 = 0.5;
+
+/// Read efficiency for large (>= 8 MiB) files: "our prefetching mechanism
+/// fetches more data from the network ... which puts more pressure on the
+/// Memcached servers and also on the network layers of the operating
+/// system" (§4.1, the 128 MB dip of Figures 4c/5c).
+pub const A2A_READ_EFF_LARGE: f64 = 0.35;
+
+/// File size above which the large-read efficiency applies (the per-file
+/// read cache is 8 MB; beyond it prefetch pressure builds).
+pub const LARGE_READ_BYTES: u64 = 8 << 20;
+
+/// iozone record size used by the envelope throughput metrics (derived
+/// from the paper's bandwidth/throughput ratios at 1 MB and 128 MB:
+/// both give ~128 KB per read()/write() call).
+pub const ENVELOPE_RECORD_BYTES: u64 = 128 << 10;
+
+/// Number of metadata round trips in a MemFS file *write* (create `set`,
+/// directory `append`, close `set` — §3.2.4).
+pub const MEMFS_WRITE_META_OPS: f64 = 3.0;
+
+/// AMFS per-file fixed cost on the write path (AMFS Shell bookkeeping +
+/// its FUSE layer). Fitted to Table 1: AMFS write 16.9 GB/s at 1 MB files.
+pub const AMFS_WRITE_OVERHEAD_SECS: f64 = 1.6e-3;
+
+/// AMFS per-file fixed cost on the read path — larger than a pure local
+/// read because "the locality-aware scheduling algorithm of AMFS is
+/// slower than the locality-agnostic scheme used for MemFS" (§4.1).
+pub const AMFS_READ_OVERHEAD_SECS: f64 = 0.5e-3;
+
+/// AMFS whole-file local streaming bandwidth through its FUSE stack.
+/// Fitted to Table 1's AMFS 1-1 read / write columns (~400 MB/s/node).
+pub const AMFS_LOCAL_BW: f64 = 400e6;
+
+/// AMFS remote (locality-miss) read bandwidth as a fraction of the NIC:
+/// whole-file request/response without striping or pipelining. Fitted to
+/// Table 1: remote 1-1 read 6.4 GB/s over 64 IPoIB nodes (~100 MB/s per
+/// node) and 950 MB/s over 1 GbE.
+pub const AMFS_REMOTE_BW_FRACTION: f64 = 0.1;
+
+/// Per-round staging overhead of AMFS Shell's software multicast. Fitted
+/// to Table 1: N-1 read 1.2 GB/s at 64 nodes / 1 MB files (6 rounds).
+pub const AMFS_MC_ROUND_OVERHEAD_SECS: f64 = 7e-3;
+
+/// iozone re-read amortization for N-1 reads of files that fit the 8 MB
+/// per-file cache (the benchmark re-reads; warm passes come from the
+/// local cache). Fitted to Table 1: MemFS N-1 read 16.1 GB/s at 1 MB.
+pub const N1_REREAD_PASSES: f64 = 8.0;
+
+/// MemFS metadata *create* CPU cost per operation beyond the two
+/// round-trips (mdtest + FUSE path). Fitted to Table 1: 22 k create/s at
+/// 64 nodes.
+pub const MEMFS_CREATE_CPU_SECS: f64 = 2.6e-3;
+
+/// MemFS metadata *open* cost (single `get` + FUSE path). Fitted to
+/// Table 1: 61 k open/s at 64 nodes.
+pub const MEMFS_OPEN_CPU_SECS: f64 = 0.9e-3;
+
+/// AMFS local metadata open cost ("all queries are local"). Fitted to
+/// Table 1: 221 k open/s at 64 nodes.
+pub const AMFS_OPEN_CPU_SECS: f64 = 0.25e-3;
+
+/// AMFS per-client create issue rate cost.
+pub const AMFS_CREATE_CPU_SECS: f64 = 0.7e-3;
+
+/// Capacity of one AMFS metadata server in create ops/s; with AMFS' skewed
+/// name hash the hottest server bounds aggregate create throughput — the
+/// non-linear curve of Figure 6 flattening near 25 k op/s at scale.
+pub const AMFS_META_SERVER_OPS: f64 = 1.8e3;
+
+// ---------------------------------------------------------------------
+// Workflow-engine constants (Figures 7-15)
+// ---------------------------------------------------------------------
+
+/// Task launch overhead (fork/exec + AMFS-Shell/worker dispatch).
+pub const TASK_SPAWN_SECS: f64 = 0.2;
+
+/// Per-process file-system streaming bandwidth for application I/O.
+/// Montage/BLAST do 4 KB-block I/O through FUSE with a full open/read/
+/// close cycle per small file, which is far below the iozone large-record
+/// numbers; fitted so a 32-process EC2 node drives ~400 MB/s of
+/// application I/O (Figures 12b-15b show its NIC saturating once the
+/// memcached serving traffic is added on top). One node's processes share
+/// the NIC and, with a single mountpoint, the FUSE spinlock (Figure 10).
+pub const CLIENT_IO_BW: f64 = 12e6;
+
+/// The AMFS remote-read path used when locality is missed inside a
+/// workflow (same protocol as the envelope's remote 1-1 read).
+pub fn amfs_remote_bw(nic_bw: f64) -> f64 {
+    nic_bw * AMFS_REMOTE_BW_FRACTION
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)] // compile-time sanity checks on tuned constants
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        for e in [A2A_WRITE_EFF, A2A_READ_EFF, A2A_READ_EFF_LARGE, AMFS_REMOTE_BW_FRACTION] {
+            assert!(e > 0.0 && e <= 1.0);
+        }
+        assert!(A2A_READ_EFF_LARGE < A2A_READ_EFF);
+    }
+
+    #[test]
+    fn amfs_remote_is_slower_than_nic() {
+        assert!(amfs_remote_bw(1e9) < 1e9 * 0.2);
+    }
+
+    #[test]
+    fn metadata_cost_ordering_matches_paper() {
+        // AMFS open fastest; MemFS open beats MemFS create.
+        assert!(AMFS_OPEN_CPU_SECS < MEMFS_OPEN_CPU_SECS);
+        assert!(MEMFS_OPEN_CPU_SECS < MEMFS_CREATE_CPU_SECS);
+    }
+}

@@ -1,0 +1,708 @@
+//! The cluster-scale workflow simulation engine.
+//!
+//! Drives a [`Workflow`] over a simulated [`Deployment`]: per-node core
+//! slots, a per-node FUSE-mount I/O resource (with the Figure 10
+//! contention curve), a max-min-fair network ([`memfs_netsim::FlowNet`]),
+//! the chosen file-system policy ([`FsModel`]) and scheduler
+//! ([`SchedulerKind`]). Produces per-stage wall times (Figures 7, 8,
+//! 10-15), per-stage network bandwidth per node (Figures 12b-15b), and
+//! per-node peak memory (Figure 9, Table 3).
+//!
+//! ## Task model
+//!
+//! Each task runs three sequential phases on its core slot:
+//!
+//! 1. **Read** — the planned input transfers (one aggregated striped flow
+//!    and/or pairwise AMFS pulls), a mount job of the total bytes, and
+//!    the per-file protocol floor, all in parallel; the phase ends when
+//!    the slowest finishes.
+//! 2. **Compute** — spawn overhead + the task's CPU seconds.
+//! 3. **Write** — mirror of read for the outputs.
+//!
+//! An out-of-memory failure (AMFS' replicate-on-read exhausting the
+//! "scheduler node" on Montage 12x12) aborts the run and is reported in
+//! [`RunResult::failed`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use memfs_cluster::Deployment;
+use memfs_netsim::{FlowEvent, FlowId, FlowNet};
+use memfs_simcore::{EfficiencyCurve, EventQueue, JobId, PsResource, SimDuration, SimTime};
+
+use crate::calibrate;
+use crate::fsmodel::{FsModel, FsModelKind, IoPlan};
+use crate::sched::{place_task, SchedulerKind};
+use crate::workflow::Workflow;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkflowSim {
+    /// Platform.
+    pub deployment: Deployment,
+    /// File-system policy.
+    pub fs: FsModelKind,
+    /// Scheduler policy.
+    pub scheduler: SchedulerKind,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total wall time.
+    pub makespan_secs: f64,
+    /// Per-stage wall time (last completion minus first start).
+    pub stage_secs: BTreeMap<String, f64>,
+    /// Per-stage average network bandwidth per node, bytes/s.
+    pub stage_bw_per_node: BTreeMap<String, f64>,
+    /// Per-node peak storage bytes.
+    pub peak_mem_per_node: Vec<u64>,
+    /// Sum of per-node peaks (Figure 9's aggregate memory usage).
+    pub aggregate_peak_mem: u64,
+    /// Total bytes that crossed the network.
+    pub network_bytes: f64,
+    /// Set when the run aborted (node out of memory).
+    pub failed: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Read,
+    Compute,
+    Write,
+}
+
+#[derive(Debug)]
+struct Running {
+    node: usize,
+    phase: Phase,
+    /// Outstanding pieces of the current phase (flows + mount job +
+    /// duration floor).
+    pending: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A phase's minimum-duration floor elapsed.
+    Floor(usize),
+    /// Compute finished.
+    ComputeDone(usize),
+}
+
+struct StageAccum {
+    first_start: SimTime,
+    last_end: SimTime,
+    bytes: f64,
+    tasks_done: usize,
+    tasks_total: usize,
+}
+
+impl WorkflowSim {
+    /// Run `workflow` to completion (or failure) and report.
+    pub fn run(&self, workflow: &Workflow) -> RunResult {
+        workflow.validate().expect("invalid workflow");
+        let n_nodes = self.deployment.cluster.n_nodes;
+        let profile = &self.deployment.cluster.profile;
+        let fabric = FsModel::fabric(&self.deployment);
+        let mut net = FlowNet::new(fabric.clone(), profile.latency);
+        let mut fs = FsModel::new(self.fs, &self.deployment, workflow);
+
+        // Per-node mount resource: capacity = cores * per-process I/O
+        // bandwidth, with the mount-model efficiency folded into a table
+        // curve (aggregate(n) = min(n, model curve) processes' worth).
+        let spec = self.deployment.cluster.node;
+        let cores = self.deployment.cores_per_node;
+        let mount_curve: Vec<f64> = (1..=cores.max(1))
+            .map(|n| {
+                let active = self.deployment.mount.effective_parallelism(&spec, n);
+                (active / cores as f64).clamp(0.0001, 1.0)
+            })
+            .collect();
+        let mut mounts: Vec<PsResource> = (0..n_nodes)
+            .map(|_| {
+                PsResource::new(
+                    cores as f64 * calibrate::CLIENT_IO_BW,
+                    EfficiencyCurve::Table(mount_curve.clone()),
+                )
+            })
+            .collect();
+
+        // Stage inputs.
+        if let Err(oom) = fs.stage_in(&workflow.staged_inputs()) {
+            return self.failed_result(&fs, format!("stage-in: {}", oom.detail));
+        }
+
+        // Dependency bookkeeping: a task waits on each *distinct* producer
+        // of its inputs (a task may read several files of one producer).
+        let mut deps: Vec<usize> = vec![0; workflow.tasks.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); workflow.tasks.len()];
+        for (ti, t) in workflow.tasks.iter().enumerate() {
+            let mut producers: Vec<usize> = t
+                .inputs
+                .iter()
+                .filter_map(|f| workflow.files[f.0].producer.map(|p| p.0))
+                .collect();
+            producers.sort_unstable();
+            producers.dedup();
+            deps[ti] = producers.len();
+            for p in producers {
+                dependents[p].push(ti);
+            }
+        }
+
+        // Transient-file reclamation: count consumers per file; a
+        // transient file is unlinked when its last consumer completes.
+        let mut consumers_left: Vec<usize> = vec![0; workflow.files.len()];
+        for t in &workflow.tasks {
+            let mut seen: Vec<usize> = t.inputs.iter().map(|f| f.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for f in seen {
+                consumers_left[f] += 1;
+            }
+        }
+
+        let mut ready: Vec<usize> = (0..workflow.tasks.len())
+            .filter(|&t| deps[t] == 0)
+            .collect();
+        let mut free_slots = vec![cores; n_nodes];
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut running: HashMap<usize, Running> = HashMap::new();
+        let mut flow_owner: HashMap<FlowId, usize> = HashMap::new();
+        let mut mount_owner: HashMap<(usize, JobId), usize> = HashMap::new();
+        let mut done = 0usize;
+        let total = workflow.tasks.len();
+
+        // Per-stage accounting.
+        let mut stages: BTreeMap<String, StageAccum> = BTreeMap::new();
+        for t in &workflow.tasks {
+            stages
+                .entry(t.stage.clone())
+                .or_insert(StageAccum {
+                    first_start: SimTime::MAX,
+                    last_end: SimTime::ZERO,
+                    bytes: 0.0,
+                    tasks_done: 0,
+                    tasks_total: 0,
+                })
+                .tasks_total += 1;
+        }
+
+        let mut now = SimTime::ZERO;
+        let mut failure: Option<String> = None;
+
+        // Helper closures are impractical with this much shared state;
+        // the loop below is explicit instead.
+        // How many tasks may queue up waiting for one busy data node per
+        // scheduling round before the excess spills to idle nodes (the
+        // multicore-aware AMFS Shell behaviour: keep locality where
+        // possible, but don't idle the cluster behind one hot node).
+        let patience = 2 * cores;
+
+        'outer: loop {
+            // 1. Launch ready tasks while slots allow.
+            loop {
+                let mut launched_any = false;
+                let mut waiting = vec![0usize; n_nodes];
+                let mut i = 0;
+                while i < ready.len() {
+                    let ti = ready[i];
+                    let task = &workflow.tasks[ti];
+                    let decision =
+                        match place_task(self.scheduler, task, workflow, &fs, &free_slots) {
+                            crate::sched::Placement::Node(n) => Some(n),
+                            crate::sched::Placement::WaitFor(n) => {
+                                // Bounded patience with bounded
+                                // replication: the queue behind a busy
+                                // data node spills to an idle node (which
+                                // replicates the file there, creating a
+                                // secondary home that place_task will
+                                // find on the next round), but a file is
+                                // never fanned out beyond owner + one
+                                // replica by scheduling alone — further
+                                // overflow keeps waiting, which is the
+                                // throughput loss the paper attributes to
+                                // AMFS' locality design.
+                                waiting[n] += 1;
+                                let copies = task
+                                    .inputs
+                                    .first()
+                                    .map(|&f| fs.replica_holders(f).len())
+                                    .unwrap_or(0);
+                                if waiting[n] > patience && copies < 2 {
+                                    free_slots
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, &s)| s > 0)
+                                        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+                                        .map(|(i, _)| i)
+                                } else {
+                                    None
+                                }
+                            }
+                            crate::sched::Placement::Queue => None,
+                        };
+                    match decision {
+                        Some(node) => {
+                            ready.remove(i);
+                            free_slots[node] -= 1;
+                            let st = stages.get_mut(&task.stage).expect("stage known");
+                            st.first_start = st.first_start.min(now);
+                            // Start the read phase.
+                            let plan = match fs.plan_read(node, &task.inputs, fabric.nic_bw()) {
+                                Ok(p) => p,
+                                Err(oom) => {
+                                    failure = Some(format!(
+                                        "task {ti} ({}) on node {}: {}",
+                                        task.stage, oom.node, oom.detail
+                                    ));
+                                    break 'outer;
+                                }
+                            };
+                            let pending = Self::start_phase(
+                                ti,
+                                node,
+                                &plan,
+                                true,
+                                now,
+                                &fabric,
+                                &mut net,
+                                &mut mounts,
+                                &mut queue,
+                                &mut flow_owner,
+                                &mut mount_owner,
+                            );
+                            stages.get_mut(&task.stage).expect("stage").bytes +=
+                                plan.network_bytes();
+                            running.insert(
+                                ti,
+                                Running {
+                                    node,
+                                    phase: Phase::Read,
+                                    pending,
+                                },
+                            );
+                            launched_any = true;
+                        }
+                        None => {
+                            i += 1;
+                        }
+                    }
+                }
+                if !launched_any {
+                    break;
+                }
+            }
+
+            if done == total {
+                break;
+            }
+
+            // 2. Advance to the next event across all engines.
+            let mut next = SimTime::MAX;
+            if let Some(t) = queue.peek_time() {
+                next = next.min(t);
+            }
+            if let Some(t) = net.next_event() {
+                next = next.min(t);
+            }
+            for m in &mounts {
+                if let Some(t) = m.next_completion() {
+                    next = next.min(t);
+                }
+            }
+            if next == SimTime::MAX {
+                // No pending events but tasks undone: deadlock (should be
+                // impossible for a valid DAG with enough slots).
+                failure = Some(format!(
+                    "simulation stalled at {now} with {} of {total} tasks done",
+                    done
+                ));
+                break;
+            }
+            now = next;
+
+            // 3. Collect completions from every engine at `now`.
+            let mut finished_pieces: Vec<usize> = Vec::new();
+            for ev in net.advance_to(now) {
+                if let FlowEvent::Completed(id) = ev {
+                    if let Some(ti) = flow_owner.remove(&id) {
+                        finished_pieces.push(ti);
+                    }
+                }
+            }
+            for (node, mount) in mounts.iter_mut().enumerate() {
+                for job in mount.advance_to(now) {
+                    if let Some(ti) = mount_owner.remove(&(node, job)) {
+                        finished_pieces.push(ti);
+                    }
+                }
+            }
+            while queue.peek_time() == Some(now) {
+                let entry = queue.pop().expect("peeked");
+                match entry.event {
+                    Ev::Floor(ti) => finished_pieces.push(ti),
+                    Ev::ComputeDone(ti) => finished_pieces.push(ti),
+                }
+            }
+
+            // 4. Drive phase transitions.
+            for ti in finished_pieces {
+                let Some(run) = running.get_mut(&ti) else {
+                    continue; // task already failed out
+                };
+                run.pending -= 1;
+                if run.pending > 0 {
+                    continue;
+                }
+                let task = &workflow.tasks[ti];
+                match run.phase {
+                    Phase::Read => {
+                        run.phase = Phase::Compute;
+                        run.pending = 1;
+                        let dur = SimDuration::from_secs_f64(
+                            calibrate::TASK_SPAWN_SECS + task.cpu_secs,
+                        );
+                        queue.push(now + dur, Ev::ComputeDone(ti));
+                    }
+                    Phase::Compute => {
+                        let node = run.node;
+                        let plan = match fs.plan_write(node, &task.outputs) {
+                            Ok(p) => p,
+                            Err(oom) => {
+                                failure = Some(format!(
+                                    "task {ti} ({}) on node {}: {}",
+                                    task.stage, oom.node, oom.detail
+                                ));
+                                break 'outer;
+                            }
+                        };
+                        let pending = Self::start_phase(
+                            ti,
+                            node,
+                            &plan,
+                            false,
+                            now,
+                            &fabric,
+                            &mut net,
+                            &mut mounts,
+                            &mut queue,
+                            &mut flow_owner,
+                            &mut mount_owner,
+                        );
+                        stages.get_mut(&task.stage).expect("stage").bytes +=
+                            plan.network_bytes();
+                        let run = running.get_mut(&ti).expect("still running");
+                        run.phase = Phase::Write;
+                        run.pending = pending;
+                    }
+                    Phase::Write => {
+                        let node = run.node;
+                        running.remove(&ti);
+                        free_slots[node] += 1;
+                        done += 1;
+                        let st = stages.get_mut(&task.stage).expect("stage");
+                        st.last_end = st.last_end.max(now);
+                        st.tasks_done += 1;
+                        for &d in &dependents[ti] {
+                            deps[d] -= 1;
+                            if deps[d] == 0 {
+                                ready.push(d);
+                            }
+                        }
+                        ready.sort_unstable();
+                        // Unlink transient inputs this task consumed last.
+                        let mut finished_inputs: Vec<usize> =
+                            task.inputs.iter().map(|f| f.0).collect();
+                        finished_inputs.sort_unstable();
+                        finished_inputs.dedup();
+                        for f in finished_inputs {
+                            consumers_left[f] -= 1;
+                            if consumers_left[f] == 0 && workflow.files[f].transient {
+                                fs.free_file(crate::workflow::FileId(f));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assemble the result.
+        let mut stage_secs = BTreeMap::new();
+        let mut stage_bw = BTreeMap::new();
+        for (name, acc) in &stages {
+            // Skip stages that never started or never finished a task
+            // (possible when the run aborted mid-stage).
+            if acc.first_start == SimTime::MAX || acc.last_end < acc.first_start {
+                continue;
+            }
+            let dur = acc
+                .last_end
+                .duration_since(acc.first_start)
+                .as_secs_f64()
+                .max(1e-9);
+            stage_secs.insert(name.clone(), dur);
+            stage_bw.insert(name.clone(), acc.bytes / dur / n_nodes as f64);
+        }
+        let peaks: Vec<u64> = (0..n_nodes).map(|n| fs.memory.peak(n)).collect();
+        RunResult {
+            makespan_secs: now.as_secs_f64(),
+            stage_secs,
+            stage_bw_per_node: stage_bw,
+            aggregate_peak_mem: peaks.iter().sum(),
+            peak_mem_per_node: peaks,
+            network_bytes: net.delivered_bytes(),
+            failed: failure,
+        }
+    }
+
+    /// Start the flows / mount job / floor of one I/O phase; returns the
+    /// number of outstanding pieces.
+    #[allow(clippy::too_many_arguments)]
+    fn start_phase(
+        ti: usize,
+        node: usize,
+        plan: &IoPlan,
+        is_read: bool,
+        now: SimTime,
+        fabric: &memfs_netsim::Fabric,
+        net: &mut FlowNet,
+        mounts: &mut [PsResource],
+        queue: &mut EventQueue<Ev>,
+        flow_owner: &mut HashMap<FlowId, usize>,
+        mount_owner: &mut HashMap<(usize, JobId), usize>,
+    ) -> usize {
+        let mut pending = 0;
+        if plan.striped_bytes > 0 {
+            let route = if is_read {
+                FsModel::striped_read_route(fabric, node)
+            } else {
+                FsModel::striped_write_route(fabric, node)
+            };
+            let id = net.start_flow_route(now, route, plan.striped_bytes);
+            flow_owner.insert(id, ti);
+            pending += 1;
+        }
+        for &(src, bytes) in &plan.pairwise_in {
+            let id = net.start_flow(
+                now,
+                memfs_netsim::NodeId(src),
+                memfs_netsim::NodeId(node),
+                bytes,
+            );
+            flow_owner.insert(id, ti);
+            pending += 1;
+        }
+        if plan.mount_bytes > 0 {
+            let job = mounts[node].admit(now, plan.mount_bytes as f64);
+            mount_owner.insert((node, job), ti);
+            pending += 1;
+        }
+        // Every phase gets a floor event so zero-I/O phases still advance.
+        queue.push(
+            now + SimDuration::from_secs_f64(plan.min_secs),
+            Ev::Floor(ti),
+        );
+        pending + 1
+    }
+
+    fn failed_result(&self, fs: &FsModel, msg: String) -> RunResult {
+        let n = self.deployment.cluster.n_nodes;
+        let peaks: Vec<u64> = (0..n).map(|i| fs.memory.peak(i)).collect();
+        RunResult {
+            makespan_secs: 0.0,
+            stage_secs: BTreeMap::new(),
+            stage_bw_per_node: BTreeMap::new(),
+            aggregate_peak_mem: peaks.iter().sum(),
+            peak_mem_per_node: peaks,
+            network_bytes: 0.0,
+            failed: Some(msg),
+        }
+    }
+}
+
+impl IoPlan {
+    /// Bytes this plan moves over the network (striped + pairwise).
+    pub fn network_bytes(&self) -> f64 {
+        self.striped_bytes as f64
+            + self
+                .pairwise_in
+                .iter()
+                .map(|&(_, b)| b as f64)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfs_cluster::ClusterSpec;
+    use memfs_simcore::units::MB;
+
+    fn fanout_workflow(n_tasks: usize, file_mb: u64, cpu: f64) -> Workflow {
+        let mut wf = Workflow::new("fanout");
+        let input = wf.add_input("/in", file_mb * MB);
+        for i in 0..n_tasks {
+            wf.add_task(
+                "work",
+                vec![input],
+                vec![(format!("/out{i}"), file_mb * MB)],
+                cpu,
+            );
+        }
+        wf
+    }
+
+    fn sim(n_nodes: usize, fs: FsModelKind, sched: SchedulerKind) -> WorkflowSim {
+        WorkflowSim {
+            deployment: Deployment::full(ClusterSpec::das4_ipoib(n_nodes)),
+            fs,
+            scheduler: sched,
+        }
+    }
+
+    #[test]
+    fn simple_workflow_completes() {
+        let wf = fanout_workflow(32, 4, 1.0);
+        let r = sim(4, FsModelKind::MemFs, SchedulerKind::Uniform).run(&wf);
+        assert!(r.failed.is_none(), "{:?}", r.failed);
+        assert!(r.makespan_secs > 1.0);
+        assert!(r.stage_secs.contains_key("work"));
+        assert!(r.network_bytes > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_scale_out_compute_bound_work() {
+        let wf = fanout_workflow(256, 1, 4.0);
+        let t8 = sim(8, FsModelKind::MemFs, SchedulerKind::Uniform)
+            .run(&wf)
+            .makespan_secs;
+        let t32 = sim(32, FsModelKind::MemFs, SchedulerKind::Uniform)
+            .run(&wf)
+            .makespan_secs;
+        assert!(
+            t32 < t8 / 2.0,
+            "horizontal scaling failed: 8 nodes {t8}s, 32 nodes {t32}s"
+        );
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        let mut wf = Workflow::new("chain");
+        let a = wf.add_input("/a", MB);
+        let t0 = wf.add_task("s1", vec![a], vec![("/b".into(), MB)], 2.0);
+        let b = wf.tasks[t0.0].outputs[0];
+        wf.add_task("s2", vec![b], vec![("/c".into(), MB)], 2.0);
+        let r = sim(4, FsModelKind::MemFs, SchedulerKind::Uniform).run(&wf);
+        assert!(r.failed.is_none());
+        // Two serialized ~2.2 s tasks plus I/O.
+        assert!(r.makespan_secs > 4.4, "chain too fast: {}", r.makespan_secs);
+    }
+
+    #[test]
+    fn memfs_balances_memory_amfs_does_not() {
+        // Producers spread across the cluster write big files; a global
+        // aggregation then reads them all (the Montage/BLAST reduction
+        // pattern). Producers take no inputs so both schedulers spread
+        // them evenly.
+        let mut wf = Workflow::new("imbalance");
+        let mut outs = Vec::new();
+        for i in 0..16 {
+            let t = wf.add_task("produce", Vec::new(), vec![(format!("/big{i}"), 64 * MB)], 0.1);
+            outs.push(wf.tasks[t.0].outputs[0]);
+        }
+        wf.add_task("aggregate", outs, vec![("/sum".into(), MB)], 0.1);
+
+        let memfs = sim(8, FsModelKind::MemFs, SchedulerKind::Uniform).run(&wf);
+        let amfs = sim(8, FsModelKind::Amfs, SchedulerKind::LocalityAware).run(&wf);
+        assert!(memfs.failed.is_none());
+        assert!(amfs.failed.is_none());
+
+        let imbalance = |peaks: &[u64]| {
+            let mean = peaks.iter().sum::<u64>() as f64 / peaks.len() as f64;
+            *peaks.iter().max().unwrap() as f64 / mean
+        };
+        assert!(imbalance(&memfs.peak_mem_per_node) < 1.3);
+        // The aggregation replicates all 1 GB onto the shell node.
+        assert!(imbalance(&amfs.peak_mem_per_node) > 2.0);
+        // And AMFS' aggregate footprint exceeds MemFS' (replication).
+        assert!(amfs.aggregate_peak_mem > memfs.aggregate_peak_mem);
+    }
+
+    #[test]
+    fn amfs_oom_aborts_with_diagnosis() {
+        // An aggregation bigger than one node's budget crashes AMFS but
+        // not MemFS — the paper's Montage 12x12 story.
+        let mut deployment = Deployment::full(ClusterSpec::das4_ipoib(4));
+        let budget = deployment.storage_budget_per_node();
+        let mut wf = Workflow::new("crash");
+        let input = wf.add_input("/seed", MB);
+        let mut outs = Vec::new();
+        for i in 0..8 {
+            // Files sized so one node cannot hold all of them.
+            let t = wf.add_task(
+                "produce",
+                vec![input],
+                vec![(format!("/chunk{i}"), budget / 5)],
+                0.1,
+            );
+            outs.push(wf.tasks[t.0].outputs[0]);
+        }
+        wf.add_task("aggregate", outs, vec![("/sum".into(), MB)], 0.1);
+
+        deployment.cores_per_node = 8;
+        let amfs = WorkflowSim {
+            deployment: deployment.clone(),
+            fs: FsModelKind::Amfs,
+            scheduler: SchedulerKind::LocalityAware,
+        }
+        .run(&wf);
+        assert!(amfs.failed.is_some(), "AMFS should OOM");
+        let msg = amfs.failed.unwrap();
+        assert!(msg.contains("out of memory") || msg.contains("failed"), "{msg}");
+
+        let memfs = WorkflowSim {
+            deployment,
+            fs: FsModelKind::MemFs,
+            scheduler: SchedulerKind::Uniform,
+        }
+        .run(&wf);
+        assert!(memfs.failed.is_none(), "{:?}", memfs.failed);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wf = fanout_workflow(64, 2, 0.5);
+        let a = sim(8, FsModelKind::MemFs, SchedulerKind::Uniform).run(&wf);
+        let b = sim(8, FsModelKind::MemFs, SchedulerKind::Uniform).run(&wf);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.peak_mem_per_node, b.peak_mem_per_node);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    #[test]
+    fn single_mount_is_slower_beyond_knee() {
+        // I/O-heavy tasks, 32 concurrent per node: a single mountpoint
+        // (Figure 10a) must hurt wall time vs per-process mounts.
+        let wf = fanout_workflow(256, 32, 0.05);
+        let base = Deployment::full(ClusterSpec::ec2(4));
+        let per_process = WorkflowSim {
+            deployment: base.clone(),
+            fs: FsModelKind::MemFs,
+            scheduler: SchedulerKind::Uniform,
+        }
+        .run(&wf);
+        let single = WorkflowSim {
+            deployment: base.with_single_mount(),
+            fs: FsModelKind::MemFs,
+            scheduler: SchedulerKind::Uniform,
+        }
+        .run(&wf);
+        assert!(per_process.failed.is_none() && single.failed.is_none());
+        assert!(
+            single.makespan_secs > per_process.makespan_secs * 1.3,
+            "single {} vs per-process {}",
+            single.makespan_secs,
+            per_process.makespan_secs
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Each submodule exposes `run_*` functions returning typed, serializable
+//! rows plus a `render_*` function producing the paper-style text block.
+//! The `memfs-bench` crate's `repro` binary is a thin CLI over these.
+//!
+//! | driver | paper artifact |
+//! |--------|----------------|
+//! | [`fig3`] | Figure 3a/3b — stripe size, buffering/prefetching (real engine) |
+//! | [`envelope_figs`] | Figures 4, 5, 6, 16 and Table 1 — MTC Envelope |
+//! | [`table2`] | Table 2 — application descriptions |
+//! | [`scaling`] | Figures 7, 8, 10, 11, 12, 13, 14, 15 — workflow runs |
+//! | [`memory`] | Figure 9 and Table 3 — memory distribution |
+
+pub mod envelope_figs;
+pub mod fig3;
+pub mod memory;
+pub mod scaling;
+pub mod table2;

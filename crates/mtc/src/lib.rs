@@ -1,0 +1,40 @@
+//! # memfs-mtc
+//!
+//! The many-task-computing layer of the MemFS reproduction: workflow
+//! models (Montage, BLAST), task schedulers (uniform vs. AMFS-Shell-style
+//! locality-aware), the cluster-scale simulation engine, the analytic MTC
+//! Envelope model, and one experiment driver per table/figure of the
+//! paper's evaluation.
+//!
+//! ## Two evaluation paths
+//!
+//! * **Real engine** (`memfs-core` / `memfs-amfs` running actual bytes
+//!   in-process) — used for the design-decision experiments that are
+//!   machine-local in the paper too (Figure 3), and by the integration
+//!   tests.
+//! * **Simulation** ([`engine::WorkflowSim`] over `memfs-netsim` +
+//!   `memfs-cluster`) — used for everything that needs 8-64 DAS4 nodes or
+//!   8-32 EC2 instances. The simulation reuses the *real* placement code
+//!   (`memfs-hashring`) and the real multicast schedule (`memfs-amfs`),
+//!   so distribution behaviour is identical to the implementation; only
+//!   time is modelled.
+//!
+//! Calibration constants live in [`calibrate`] and are documented against
+//! the paper's reported numbers; EXPERIMENTS.md records paper-vs-measured
+//! for every artifact.
+
+pub mod blast;
+pub mod calibrate;
+pub mod engine;
+pub mod envelope;
+pub mod experiments;
+pub mod fsmodel;
+pub mod montage;
+pub mod report;
+pub mod sched;
+pub mod workflow;
+
+pub use engine::{RunResult, WorkflowSim};
+pub use envelope::{EnvelopeModel, EnvelopePoint, FsKind};
+pub use sched::SchedulerKind;
+pub use workflow::{FileId, StageStats, TaskId, TaskSpec, Workflow};

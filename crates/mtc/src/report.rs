@@ -1,0 +1,101 @@
+//! Plain-text rendering helpers for the experiment drivers: aligned
+//! tables and series blocks that mirror the paper's figures/tables.
+
+/// Render an aligned table: `header` then `rows`, columns right-aligned
+/// except the first.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{:<width$}", cell, width = widths[0]));
+            } else {
+                out.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    render_row(&header_cells, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Format bytes/s as the paper's MB/s (decimal).
+pub fn mbps(bytes_per_s: f64) -> String {
+    format!("{:.0}", bytes_per_s / 1e6)
+}
+
+/// Format an op/s figure.
+pub fn ops(per_s: f64) -> String {
+    format!("{:.0}", per_s)
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Format a byte count as GB (decimal) with one decimal place.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["Nodes", "Write", "Read"],
+            &[
+                vec!["8".into(), "3400".into(), "3700".into()],
+                vec!["64".into(), "27403".into(), "29686".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Nodes"));
+        assert!(lines[1].starts_with('-'));
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].ends_with("29686"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbps(27_403_000_000.0), "27403");
+        assert_eq!(ops(61_097.4), "61097");
+        assert_eq!(secs(0.0123), "0.012");
+        assert_eq!(secs(5.25), "5.2");
+        assert_eq!(secs(153.0), "153");
+        assert_eq!(gb(4_900_000_000), "4.9");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Task schedulers: the uniform placement MemFS pairs with, and the
+//! AMFS-Shell-style locality-aware scheduler.
+//!
+//! Paper §4.2: "In conjunction with MemFS, the AMFS Shell scheduler cannot
+//! perform locality-aware scheduling, thus all tasks are submitted in a
+//! uniform manner to all compute nodes." For AMFS, the (multicore-aware)
+//! scheduler "preserves the data-locality scheme": a task goes to the
+//! node owning its first input file when that node has a free slot —
+//! "AMFS Shell, however, can only guarantee that one file per job achieves
+//! data locality". Aggregation tasks run on the shell's own node, which
+//! is what turns node 0 into the paper's "scheduler node" (Table 3).
+
+use crate::fsmodel::FsModel;
+use crate::workflow::{TaskSpec, Workflow};
+
+/// Outcome of a placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Run on this node now.
+    Node(usize),
+    /// Wait for this node (it holds the task's data but is busy). The
+    /// engine applies bounded patience: if too many tasks are already
+    /// waiting for one node, the excess spills to the least-loaded node —
+    /// AMFS Shell's multicore spillover.
+    WaitFor(usize),
+    /// No slot anywhere (or policy chose to hold the task back).
+    Queue,
+}
+
+/// Which placement policy the simulated run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Spread tasks evenly over nodes (the MemFS pairing).
+    Uniform,
+    /// AMFS Shell: first-input locality with multicore awareness;
+    /// aggregation tasks pinned to node 0.
+    LocalityAware,
+}
+
+/// The node AMFS Shell runs on — aggregation stages land here.
+pub const SHELL_NODE: usize = 0;
+
+/// Number of inputs at which a task counts as a global aggregation (it
+/// combines results from many producers, like mConcatFit/mAdd/merge).
+pub const AGGREGATION_INPUTS: usize = 32;
+
+/// Pick a node for `task`, given per-node free slot counts.
+///
+/// Both policies are deterministic: ties break toward the lowest node id.
+pub fn place_task(
+    kind: SchedulerKind,
+    task: &TaskSpec,
+    _workflow: &Workflow,
+    fs: &FsModel,
+    free_slots: &[usize],
+) -> Placement {
+    let least_loaded = || {
+        free_slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .map_or(Placement::Queue, Placement::Node)
+    };
+    match kind {
+        SchedulerKind::Uniform => least_loaded(),
+        SchedulerKind::LocalityAware => {
+            // Global aggregations run on the shell's node.
+            if task.inputs.len() >= AGGREGATION_INPUTS {
+                return if free_slots[SHELL_NODE] > 0 {
+                    Placement::Node(SHELL_NODE)
+                } else {
+                    // Wait for the shell node rather than lose locality.
+                    Placement::WaitFor(SHELL_NODE)
+                };
+            }
+            // First-input locality: AMFS Shell "can only guarantee that
+            // one file per job achieves data locality" — placement
+            // follows the job's primary input (authoritative copy first,
+            // then replicas accumulated by earlier reads). Secondary
+            // inputs are read remotely wherever the task lands.
+            if let Some(&first) = task.inputs.first() {
+                if let Some(owner) = fs.owner_of(first) {
+                    if free_slots[owner] > 0 {
+                        return Placement::Node(owner);
+                    }
+                    for holder in fs.replica_holders(first) {
+                        if free_slots[holder] > 0 {
+                            return Placement::Node(holder);
+                        }
+                    }
+                    // Sticky locality: the shell keeps the job queued at
+                    // its data rather than replicating it elsewhere (this
+                    // is how AMFS runs "blastall jobs locally to each
+                    // database fragment", §4.2). The engine bounds the
+                    // per-node waiting queue and spills the excess — the
+                    // multicore-aware behaviour of §4.2.
+                    return Placement::WaitFor(owner);
+                }
+            }
+            least_loaded()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsmodel::FsModelKind;
+    use memfs_cluster::{ClusterSpec, Deployment};
+
+    fn fixture() -> (Workflow, FsModel) {
+        let mut wf = Workflow::new("t");
+        let a = wf.add_input("/a", 100);
+        let b = wf.add_input("/b", 100);
+        wf.add_task("s", vec![a, b], vec![("/o".into(), 10)], 1.0);
+        // An aggregation task with many inputs.
+        let many: Vec<_> = (0..40).map(|i| wf.add_input(format!("/m{i}"), 10)).collect();
+        wf.add_task("agg", many, vec![("/agg".into(), 10)], 1.0);
+        let deployment = Deployment::full(ClusterSpec::das4_ipoib(4));
+        let mut fs = FsModel::new(FsModelKind::Amfs, &deployment, &wf);
+        fs.stage_in(&wf.staged_inputs()).unwrap();
+        (wf, fs)
+    }
+
+    #[test]
+    fn uniform_picks_least_loaded() {
+        let (wf, fs) = fixture();
+        let p = place_task(SchedulerKind::Uniform, &wf.tasks[0], &wf, &fs, &[1, 3, 2, 3]);
+        assert_eq!(p, Placement::Node(1)); // most free slots, lowest id on tie
+        let p = place_task(SchedulerKind::Uniform, &wf.tasks[0], &wf, &fs, &[0, 0, 0, 0]);
+        assert_eq!(p, Placement::Queue);
+    }
+
+    #[test]
+    fn locality_follows_first_input_owner() {
+        let (wf, fs) = fixture();
+        // All inputs staged on the shell node.
+        let owner = fs.owner_of(crate::workflow::FileId(0)).unwrap();
+        assert_eq!(owner, SHELL_NODE);
+        let p = place_task(
+            SchedulerKind::LocalityAware,
+            &wf.tasks[0],
+            &wf,
+            &fs,
+            &[1, 1, 1, 1],
+        );
+        assert_eq!(p, Placement::Node(owner));
+    }
+
+    #[test]
+    fn locality_waits_for_busy_data_node() {
+        let (wf, fs) = fixture();
+        let owner = fs.owner_of(crate::workflow::FileId(0)).unwrap();
+        let mut slots = vec![2; 4];
+        slots[owner] = 0;
+        let p = place_task(SchedulerKind::LocalityAware, &wf.tasks[0], &wf, &fs, &slots);
+        assert_eq!(p, Placement::WaitFor(owner));
+    }
+
+    #[test]
+    fn locality_prefers_replica_holders() {
+        let (wf, mut fs) = fixture();
+        // Node 2 replicates file 0 by reading it there.
+        fs.plan_read(2, &[crate::workflow::FileId(0)], 1e9).unwrap();
+        let mut slots = vec![2; 4];
+        slots[SHELL_NODE] = 0; // owner busy
+        let p = place_task(SchedulerKind::LocalityAware, &wf.tasks[0], &wf, &fs, &slots);
+        assert_eq!(p, Placement::Node(2));
+    }
+
+    #[test]
+    fn aggregations_pin_to_shell_node() {
+        let (wf, fs) = fixture();
+        let p = place_task(
+            SchedulerKind::LocalityAware,
+            &wf.tasks[1],
+            &wf,
+            &fs,
+            &[1, 8, 8, 8],
+        );
+        assert_eq!(p, Placement::Node(SHELL_NODE));
+        // Shell node busy: the aggregation waits instead of migrating.
+        let p = place_task(
+            SchedulerKind::LocalityAware,
+            &wf.tasks[1],
+            &wf,
+            &fs,
+            &[0, 8, 8, 8],
+        );
+        assert_eq!(p, Placement::WaitFor(SHELL_NODE));
+    }
+
+    #[test]
+    fn uniform_ignores_aggregation_pinning() {
+        let (wf, fs) = fixture();
+        let p = place_task(SchedulerKind::Uniform, &wf.tasks[1], &wf, &fs, &[0, 8, 8, 8]);
+        assert_eq!(p, Placement::Node(1));
+    }
+}

@@ -1,0 +1,294 @@
+//! Workflow representation: files, tasks, stages, dependencies.
+//!
+//! A workflow is a DAG of tasks connected through intermediate files (the
+//! MTC model of the paper's Figure 1): a task becomes ready when every
+//! task producing one of its input files has completed. Initial input
+//! files (produced by no task) are staged into the runtime file system
+//! before execution.
+
+use std::collections::HashMap;
+
+/// Index of a file in a [`Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub usize);
+
+/// Index of a task in a [`Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// A file flowing through the workflow.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Path-like name (unique).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// The producing task, or `None` for staged-in input data.
+    pub producer: Option<TaskId>,
+    /// Transient files are unlinked from the runtime FS once their last
+    /// consumer task completes (e.g. BLAST's raw database fragments,
+    /// superseded by the formatted database). Non-transient intermediates
+    /// stay resident for the whole run, as the paper's memory figures
+    /// assume.
+    pub transient: bool,
+}
+
+/// One executable task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Stage name ("mProjectPP", "blastall", …) for per-stage reporting.
+    pub stage: String,
+    /// Files read.
+    pub inputs: Vec<FileId>,
+    /// Files written.
+    pub outputs: Vec<FileId>,
+    /// Pure compute seconds on one core.
+    pub cpu_secs: f64,
+}
+
+/// A complete workflow.
+#[derive(Debug, Clone, Default)]
+pub struct Workflow {
+    /// Human-readable name ("Montage 6x6", …).
+    pub name: String,
+    /// All files (staged inputs and intermediates).
+    pub files: Vec<FileSpec>,
+    /// All tasks.
+    pub tasks: Vec<TaskSpec>,
+    names: HashMap<String, FileId>,
+}
+
+/// Aggregate statistics of one stage, used by Table 2-style summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name.
+    pub stage: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Total bytes read by the stage.
+    pub bytes_read: u64,
+    /// Total bytes written by the stage.
+    pub bytes_written: u64,
+}
+
+impl Workflow {
+    /// An empty workflow with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Register a staged-in input file.
+    pub fn add_input(&mut self, name: impl Into<String>, size: u64) -> FileId {
+        self.add_file(name.into(), size, None)
+    }
+
+    fn add_file(&mut self, name: String, size: u64, producer: Option<TaskId>) -> FileId {
+        assert!(
+            !self.names.contains_key(&name),
+            "duplicate file name {name}"
+        );
+        let id = FileId(self.files.len());
+        self.names.insert(name.clone(), id);
+        self.files.push(FileSpec {
+            name,
+            size,
+            producer,
+            transient: false,
+        });
+        id
+    }
+
+    /// Mark `file` as transient (freed after its last consumer).
+    pub fn mark_transient(&mut self, file: FileId) {
+        self.files[file.0].transient = true;
+    }
+
+    /// Add a task; its outputs are created as new files.
+    pub fn add_task(
+        &mut self,
+        stage: impl Into<String>,
+        inputs: Vec<FileId>,
+        outputs: Vec<(String, u64)>,
+        cpu_secs: f64,
+    ) -> TaskId {
+        let tid = TaskId(self.tasks.len());
+        let out_ids: Vec<FileId> = outputs
+            .into_iter()
+            .map(|(name, size)| self.add_file(name, size, Some(tid)))
+            .collect();
+        for &f in &inputs {
+            assert!(f.0 < self.files.len(), "task references unknown file");
+        }
+        self.tasks.push(TaskSpec {
+            stage: stage.into(),
+            inputs,
+            outputs: out_ids,
+            cpu_secs,
+        });
+        tid
+    }
+
+    /// Look up a file id by name.
+    pub fn file_by_name(&self, name: &str) -> Option<FileId> {
+        self.names.get(name).copied()
+    }
+
+    /// The file ids of staged-in inputs.
+    pub fn staged_inputs(&self) -> Vec<FileId> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.producer.is_none())
+            .map(|(i, _)| FileId(i))
+            .collect()
+    }
+
+    /// Total size of staged-in inputs (Table 2's "Input Size").
+    pub fn input_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| f.producer.is_none())
+            .map(|f| f.size)
+            .sum()
+    }
+
+    /// Total size of task-generated files (Table 2's "Runtime Data").
+    pub fn runtime_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| f.producer.is_some())
+            .map(|f| f.size)
+            .sum()
+    }
+
+    /// Per-stage task/byte statistics in stage-appearance order.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        let mut order: Vec<String> = Vec::new();
+        let mut map: HashMap<&str, StageStats> = HashMap::new();
+        for task in &self.tasks {
+            if !map.contains_key(task.stage.as_str()) {
+                order.push(task.stage.clone());
+                map.insert(
+                    task.stage.as_str(),
+                    StageStats {
+                        stage: task.stage.clone(),
+                        tasks: 0,
+                        bytes_read: 0,
+                        bytes_written: 0,
+                    },
+                );
+            }
+            let entry = map.get_mut(task.stage.as_str()).expect("just inserted");
+            entry.tasks += 1;
+            entry.bytes_read += task.inputs.iter().map(|&f| self.files[f.0].size).sum::<u64>();
+            entry.bytes_written += task
+                .outputs
+                .iter()
+                .map(|&f| self.files[f.0].size)
+                .sum::<u64>();
+        }
+        order
+            .iter()
+            .map(|s| map.remove(s.as_str()).expect("stage recorded"))
+            .collect()
+    }
+
+    /// Validate DAG invariants: every input is produced by an
+    /// earlier-indexed task or staged in (generators emit tasks in
+    /// topological order), and producers are consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ti, task) in self.tasks.iter().enumerate() {
+            for &f in &task.inputs {
+                let file = &self.files[f.0];
+                if let Some(producer) = file.producer {
+                    if producer.0 >= ti {
+                        return Err(format!(
+                            "task {ti} ({}) reads {} produced by later task {}",
+                            task.stage, file.name, producer.0
+                        ));
+                    }
+                }
+            }
+            for &f in &task.outputs {
+                if self.files[f.0].producer != Some(TaskId(ti)) {
+                    return Err(format!("output {} of task {ti} has wrong producer", f.0));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Workflow {
+        let mut wf = Workflow::new("diamond");
+        let input = wf.add_input("/in", 100);
+        let a = wf.add_task("split", vec![input], vec![("/a".into(), 50), ("/b".into(), 50)], 1.0);
+        let fa = wf.tasks[a.0].outputs[0];
+        let fb = wf.tasks[a.0].outputs[1];
+        let b = wf.add_task("work", vec![fa], vec![("/a2".into(), 25)], 2.0);
+        let c = wf.add_task("work", vec![fb], vec![("/b2".into(), 25)], 2.0);
+        let fa2 = wf.tasks[b.0].outputs[0];
+        let fb2 = wf.tasks[c.0].outputs[0];
+        wf.add_task("merge", vec![fa2, fb2], vec![("/out".into(), 40)], 0.5);
+        wf
+    }
+
+    #[test]
+    fn diamond_is_valid() {
+        let wf = diamond();
+        wf.validate().unwrap();
+        assert_eq!(wf.tasks.len(), 4);
+        assert_eq!(wf.files.len(), 6);
+        assert_eq!(wf.input_bytes(), 100);
+        assert_eq!(wf.runtime_bytes(), 50 + 50 + 25 + 25 + 40);
+        assert_eq!(wf.staged_inputs(), vec![FileId(0)]);
+    }
+
+    #[test]
+    fn stage_stats_aggregate_in_order() {
+        let stats = diamond().stage_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].stage, "split");
+        assert_eq!(stats[1].stage, "work");
+        assert_eq!(stats[1].tasks, 2);
+        assert_eq!(stats[1].bytes_read, 100);
+        assert_eq!(stats[1].bytes_written, 50);
+        assert_eq!(stats[2].stage, "merge");
+    }
+
+    #[test]
+    fn file_lookup_by_name() {
+        let wf = diamond();
+        assert_eq!(wf.file_by_name("/in"), Some(FileId(0)));
+        assert!(wf.file_by_name("/nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate file name")]
+    fn duplicate_names_panic() {
+        let mut wf = Workflow::new("dup");
+        wf.add_input("/x", 1);
+        wf.add_input("/x", 2);
+    }
+
+    #[test]
+    fn validate_detects_forward_reference() {
+        let mut wf = Workflow::new("bad");
+        let input = wf.add_input("/in", 1);
+        // Task 0 output.
+        wf.add_task("s", vec![input], vec![("/mid".into(), 1)], 0.0);
+        // Manually corrupt: make /mid's producer a future task.
+        let mid = wf.file_by_name("/mid").unwrap();
+        wf.files[mid.0].producer = Some(TaskId(5));
+        let mut wf2 = wf.clone();
+        wf2.tasks[0].inputs = vec![mid];
+        assert!(wf2.validate().is_err());
+    }
+}

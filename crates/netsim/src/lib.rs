@@ -1,0 +1,42 @@
+//! # memfs-netsim
+//!
+//! A flow-level network fabric simulator with **max-min fair bandwidth
+//! sharing**, used to reproduce the MemFS paper's cluster (DAS4, IPoIB and
+//! 1GbE) and cloud (EC2 c3.8xlarge, 10GbE) experiments.
+//!
+//! ## Why flow-level?
+//!
+//! Every scaling phenomenon the paper reports is a *bandwidth contention*
+//! phenomenon:
+//!
+//! * MemFS reads/writes stripe across all N servers, so a single client can
+//!   use the aggregate bandwidth of many NICs (paper §3.2.1);
+//! * AMFS' N-1 read multicasts a file from one source whose egress link is
+//!   shared by all receivers (paper §4.1);
+//! * AMFS' replicate-on-read concentrates traffic on the "scheduler node",
+//!   turning its NIC into a centralized bottleneck (paper Table 3);
+//! * the I/O-bound Montage/BLAST stages saturate the ~1 GB/s node links at
+//!   16-32 cores per node (paper Figures 12b-15b).
+//!
+//! A fluid model in which concurrent transfers share link capacity max-min
+//! fairly captures all of these directly, runs in microseconds per event,
+//! and stays deterministic.
+//!
+//! ## Model
+//!
+//! The fabric is a full-bisection two-level topology (as on DAS4's QDR
+//! InfiniBand and EC2 placement groups): each node has an egress and an
+//! ingress NIC constraint, local (same-node) transfers are bounded by memory
+//! bandwidth instead, and an optional aggregate core capacity can be
+//! configured for oversubscribed cores. Transfers are [`FlowNet`] flows that
+//! activate after a configurable latency and then drain at the max-min fair
+//! rate, recomputed at every arrival and departure.
+
+pub mod fabric;
+pub mod flownet;
+pub mod maxmin;
+pub mod profile;
+
+pub use fabric::{Fabric, NodeId};
+pub use flownet::{FlowEvent, FlowId, FlowNet};
+pub use profile::NetProfile;

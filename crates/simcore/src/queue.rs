@@ -1,0 +1,206 @@
+//! A deterministic event calendar.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, sequence)`: events scheduled
+//! for the same instant pop in the order they were pushed. This makes every
+//! simulation in the workspace bit-reproducible — a property the integration
+//! tests assert directly (same seed ⇒ same figure data).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event together with its due time, as returned by [`EventQueue::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The payload.
+    pub event: E,
+}
+
+/// Internal heap node; ordered so the `BinaryHeap` (a max-heap) pops the
+/// *earliest* `(time, seq)` pair first.
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Node<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Node<E> {}
+
+impl<E> PartialOrd for Node<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Node<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smallest (time, seq) is the "greatest" heap element.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar queue.
+///
+/// ```
+/// use memfs_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Node<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the due time of the most recently popped
+    /// event (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past (earlier than [`Self::now`]); a DES
+    /// must never schedule behind its clock.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "EventQueue::push: scheduling at {time} which is before now = {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Node { time, seq, event });
+    }
+
+    /// The due time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|n| n.time)
+    }
+
+    /// Pop the earliest event and advance the clock to its due time.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let node = self.heap.pop()?;
+        debug_assert!(node.time >= self.now);
+        self.now = node.time;
+        Some(EventEntry {
+            time: node.time,
+            event: node.event,
+        })
+    }
+
+    /// Drop all pending events without changing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[30u64, 10, 20, 40, 5] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![5, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn pushing_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), ());
+        q.pop();
+        q.push(SimTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_000_000_000)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.push(SimTime::from_nanos(20), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+    }
+}

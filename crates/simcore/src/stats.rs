@@ -1,0 +1,317 @@
+//! Streaming statistics used by every experiment driver.
+//!
+//! * [`Summary`] — count/mean/min/max/stddev via Welford's online algorithm,
+//!   plus exact percentiles (the sample sets in this reproduction are small
+//!   enough to keep).
+//! * [`TimeWeighted`] — time-weighted average of a step function, used for
+//!   e.g. average memory consumption over a run.
+//! * [`Histogram`] — fixed-bucket histogram for load-balance reporting.
+
+use crate::time::SimTime;
+
+/// Online summary statistics over a stream of `f64` samples.
+///
+/// Keeps all samples for exact percentile queries; the experiments here
+/// record at most a few hundred thousand samples, so this is cheap and
+/// avoids approximation error in the reproduced tables.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sorted: bool,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            samples: Vec::new(),
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sorted: true,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample {x}");
+        self.samples.push(x);
+        self.sorted = false;
+        let n = self.samples.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.samples.len() as f64
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator), or 0 for < 2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.samples.len() - 1) as f64).sqrt()
+        }
+    }
+
+    /// Exact percentile `p` in [0, 100] by nearest-rank, or 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Ratio of max to mean — the load-imbalance measure used to compare
+    /// MemFS' symmetric distribution with AMFS' local-write policy.
+    pub fn imbalance(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.max() / m
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. bytes of
+/// memory in use on a node over the course of a workflow run).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.total_time += dt;
+        self.last_time = now;
+        self.last_value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Highest value ever observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean up to the last `set` call (0 before any interval
+    /// has elapsed).
+    pub fn mean(&self) -> f64 {
+        if self.total_time == 0.0 {
+            self.last_value
+        } else {
+            self.weighted_sum / self.total_time
+        }
+    }
+}
+
+/// A simple fixed-width-bucket histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram of `n` equal buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            width: (hi - lo) / n as f64,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        // Sample stddev of this classic dataset is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        for x in 1..=100 {
+            s.record(x as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let mut s = Summary::new();
+        for x in [1.0, 1.0, 1.0, 5.0] {
+            s.record(x);
+        }
+        assert!((s.imbalance() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 10.0);
+        tw.set(SimTime::from_nanos(1_000_000_000), 20.0); // 10 for 1 s
+        tw.set(SimTime::from_nanos(3_000_000_000), 0.0); // 20 for 2 s
+        assert!((tw.mean() - (10.0 + 40.0) / 3.0).abs() < 1e-9);
+        assert_eq!(tw.peak(), 20.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(5.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.total(), 5);
+    }
+}

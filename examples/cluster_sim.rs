@@ -1,0 +1,61 @@
+//! Drive the cluster simulator directly: run Montage 6x6 on a simulated
+//! 16-node DAS4 under both file systems and compare stage times and
+//! memory distribution — a pocket edition of the paper's Figures 8a/9 and
+//! Table 3.
+//!
+//! ```text
+//! cargo run --release --example cluster_sim
+//! ```
+
+use memfs::cluster::{ClusterSpec, Deployment};
+use memfs::mtc::fsmodel::FsModelKind;
+use memfs::mtc::montage::montage;
+use memfs::mtc::sched::SchedulerKind;
+use memfs::mtc::WorkflowSim;
+
+fn main() {
+    let workflow = montage(6, 512);
+    println!(
+        "workflow: {} — {} tasks, {:.1} GB runtime data",
+        workflow.name,
+        workflow.tasks.len(),
+        workflow.runtime_bytes() as f64 / 1e9
+    );
+
+    let configs = [
+        ("MemFS + uniform scheduling", FsModelKind::MemFs, SchedulerKind::Uniform, false),
+        ("AMFS  + locality scheduling", FsModelKind::Amfs, SchedulerKind::LocalityAware, true),
+    ];
+
+    for (label, fs, scheduler, single_mount) in configs {
+        let mut deployment = Deployment::full(ClusterSpec::das4_ipoib(16));
+        if single_mount {
+            deployment = deployment.with_single_mount();
+        }
+        let sim = WorkflowSim {
+            deployment,
+            fs,
+            scheduler,
+        };
+        let result = sim.run(&workflow);
+        println!("\n== {label} ==");
+        if let Some(err) = &result.failed {
+            println!("  RUN FAILED: {err}");
+            continue;
+        }
+        println!("  makespan: {:.1} s", result.makespan_secs);
+        for (stage, secs) in &result.stage_secs {
+            let bw = result.stage_bw_per_node.get(stage).copied().unwrap_or(0.0);
+            println!("  {stage:<12} {secs:>7.1} s   {:>6.0} MB/s per node", bw / 1e6);
+        }
+        let peaks = &result.peak_mem_per_node;
+        let mean = peaks.iter().sum::<u64>() as f64 / peaks.len() as f64;
+        let max = *peaks.iter().max().unwrap() as f64;
+        println!(
+            "  memory: aggregate peak {:.1} GB, node imbalance {:.2} (scheduler node {:.1} GB)",
+            result.aggregate_peak_mem as f64 / 1e9,
+            max / mean,
+            peaks[0] as f64 / 1e9,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Evaluate the MTC Envelope model interactively: pass a node count (and
+//! optionally a file size in KB) to see all eight envelope metrics for
+//! MemFS and AMFS on the DAS4-IPoIB profile.
+//!
+//! ```text
+//! cargo run --example envelope -- 64
+//! cargo run --example envelope -- 32 1024
+//! ```
+
+use memfs::cluster::ClusterSpec;
+use memfs::mtc::{EnvelopeModel, EnvelopePoint};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let file_kb: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
+    let file = file_kb * 1000;
+
+    let model = EnvelopeModel::new(ClusterSpec::das4_ipoib(nodes));
+    println!("MTC Envelope @ {nodes} nodes, {file_kb} KB files (DAS4-IPoIB)\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>14}",
+        "metric", "MemFS MB/s", "AMFS MB/s", "MemFS op/s", "AMFS op/s"
+    );
+
+    let print = |name: &str, m: EnvelopePoint, a: EnvelopePoint| {
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>14.0} {:>14.0}",
+            name,
+            m.bandwidth / 1e6,
+            a.bandwidth / 1e6,
+            m.throughput,
+            a.throughput
+        );
+    };
+    print("write", model.memfs_write(file), model.amfs_write(file));
+    print("1-1 read", model.memfs_read_1_1(file), model.amfs_read_1_1(file));
+    print("N-1 read", model.memfs_read_n_1(file), model.amfs_read_n_1(file));
+
+    println!("\nmetadata (op/s):");
+    println!(
+        "  create: MemFS {:>8.0}   AMFS {:>8.0}",
+        model.memfs_create(),
+        model.amfs_create()
+    );
+    println!(
+        "  open:   MemFS {:>8.0}   AMFS {:>8.0}",
+        model.memfs_open(),
+        model.amfs_open()
+    );
+    println!(
+        "\nAMFS 1-1 read when locality is lost: {:.0} MB/s (MemFS is {:.2}x faster)",
+        model.amfs_read_1_1_remote(file).bandwidth / 1e6,
+        model.memfs_read_1_1(file).bandwidth / model.amfs_read_1_1_remote(file).bandwidth
+    );
+}

@@ -1,0 +1,81 @@
+//! `memfsd` — a MemFS storage server daemon.
+//!
+//! Serves one node's DRAM over the memcached text protocol. Start one per
+//! storage node, then point `memfs-cli` (or any `MemFs` mount) at the full
+//! server list.
+//!
+//! ```text
+//! memfsd --listen 0.0.0.0:11211 --memory-gb 16
+//! ```
+
+use std::sync::Arc;
+
+use memfs::memkv::net::KvServer;
+use memfs::memkv::{EvictionPolicy, Store, StoreConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "memfsd — MemFS storage server (memcached text protocol)\n\n\
+         usage: memfsd [--listen ADDR] [--memory-gb N] [--lru]\n\n\
+         options:\n\
+           --listen ADDR   bind address (default 127.0.0.1:11211)\n\
+           --memory-gb N   memory budget in GiB (default 4)\n\
+           --lru           evict least-recently-used items when full\n\
+                           (default: refuse writes — the runtime-FS mode)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:11211".to_string();
+    let mut memory_gb: u64 = 4;
+    let mut eviction = EvictionPolicy::Error;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--memory-gb" => {
+                memory_gb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--lru" => eviction = EvictionPolicy::Lru,
+            _ => usage(),
+        }
+    }
+
+    let store = Arc::new(Store::new(StoreConfig {
+        memory_budget: memory_gb << 30,
+        eviction,
+        ..StoreConfig::default()
+    }));
+    let server = match KvServer::spawn(Arc::clone(&store), listen.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memfsd: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "memfsd listening on {} ({} GiB budget, {:?} policy)",
+        server.addr(),
+        memory_gb,
+        eviction
+    );
+
+    // Periodic one-line status until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        let snap = store.stats().snapshot();
+        println!(
+            "items={} bytes={} sets={} gets={} hit_rate={:.2}",
+            snap.item_count,
+            snap.bytes_used,
+            snap.set_ops,
+            snap.get_ops,
+            snap.hit_rate()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # MemFS — facade crate
+//!
+//! Re-exports the full MemFS reproduction workspace behind one dependency:
+//! the MemFS file system itself ([`memfs_core`]), the memcached-style
+//! storage engine ([`memkv`]), key distribution ([`hashring`]), the AMFS
+//! locality-based baseline ([`amfs`]), and the simulation substrate used to
+//! reproduce the paper's cluster/cloud experiments ([`simcore`], [`netsim`],
+//! [`cluster`], [`mtc`]).
+//!
+//! See the repository README for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use memfs_amfs as amfs;
+pub use memfs_cluster as cluster;
+pub use memfs_core as memfs_core;
+pub use memfs_hashring as hashring;
+pub use memfs_memkv as memkv;
+pub use memfs_mtc as mtc;
+pub use memfs_netsim as netsim;
+pub use memfs_simcore as simcore;
+
+/// Commonly used types, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use memfs_core::{DirEntry, EntryKind, FileStat, MemFs, MemFsConfig, MemFsError};
+    pub use memfs_hashring::{Distributor, HashScheme};
+    pub use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
+}

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * read-equals-write through the real engine for arbitrary sizes,
+//!   stripe sizes and read offsets;
+//! * stripe layout covers ranges exactly, with no gaps or overlaps;
+//! * directory-log folding agrees with a reference model under arbitrary
+//!   add/remove interleavings;
+//! * max-min fairness: feasibility and maximality on random instances;
+//! * hash distributors are total and consistent-hash remapping is
+//!   bounded.
+
+use std::sync::Arc;
+
+use memfs::hashring::{Distributor, HashScheme, KetamaRing, ModuloRing};
+use memfs::memfs_core::layout::StripeLayout;
+use memfs::memfs_core::meta::{encode_add, encode_remove, fold_dir_log, ChildKind};
+use memfs::memfs_core::{MemFs, MemFsConfig};
+use memfs::memkv::{KvClient, LocalClient, Store, StoreConfig};
+use memfs::netsim::maxmin::maxmin_rates;
+use proptest::prelude::*;
+
+fn mount(n: usize, stripe: usize) -> MemFs {
+    let clients: Vec<Arc<dyn KvClient>> = (0..n)
+        .map(|_| {
+            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
+                as Arc<dyn KvClient>
+        })
+        .collect();
+    MemFs::new(
+        clients,
+        MemFsConfig {
+            stripe_size: stripe,
+            write_buffer_size: stripe * 4,
+            read_cache_size: stripe * 4,
+            writer_threads: 2,
+            prefetch_threads: 2,
+            prefetch_window: 2,
+            ..MemFsConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn read_equals_write(
+        len in 0usize..50_000,
+        stripe in 512usize..8192,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64) % 251) as u8).collect();
+        let fs = mount(3, stripe);
+        fs.write_file("/p", &data).unwrap();
+        prop_assert_eq!(fs.read_to_vec("/p").unwrap(), data);
+    }
+
+    #[test]
+    fn random_offset_reads_match(
+        len in 1usize..30_000,
+        offset in 0usize..40_000,
+        read_len in 1usize..5_000,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+        let fs = mount(2, 1024);
+        fs.write_file("/p", &data).unwrap();
+        let r = fs.open("/p").unwrap();
+        let mut buf = vec![0u8; read_len];
+        let n = r.read_at(offset as u64, &mut buf).unwrap();
+        let expected: &[u8] = if offset >= len {
+            &[]
+        } else {
+            &data[offset..(offset + read_len).min(len)]
+        };
+        prop_assert_eq!(&buf[..n], expected);
+    }
+
+    #[test]
+    fn layout_spans_partition_the_range(
+        stripe in 1usize..10_000,
+        file_size in 0u64..1_000_000,
+        offset in 0u64..1_200_000,
+        len in 0usize..100_000,
+    ) {
+        let layout = StripeLayout::new(stripe);
+        let spans = layout.spans(file_size, offset, len);
+        // Contiguity and coverage.
+        let mut pos = offset.min(file_size.min(offset + len as u64));
+        let clamped_end = (offset + len as u64).min(file_size);
+        let mut covered = 0usize;
+        for s in &spans {
+            let abs = s.stripe * stripe as u64 + s.offset_in_stripe as u64;
+            prop_assert_eq!(abs, pos, "gap or overlap");
+            prop_assert!(s.len > 0 && s.len <= stripe);
+            prop_assert!(s.offset_in_stripe < stripe);
+            pos += s.len as u64;
+            covered += s.len;
+        }
+        let expected = clamped_end.saturating_sub(offset) as usize;
+        prop_assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn dir_log_folding_matches_model(ops in proptest::collection::vec((0u8..3, 0u8..8), 0..60)) {
+        use std::collections::BTreeMap;
+        let mut log = Vec::new();
+        let mut model: BTreeMap<String, ChildKind> = BTreeMap::new();
+        for (op, name_idx) in ops {
+            let name = format!("f{name_idx}");
+            match op {
+                0 => {
+                    log.extend(encode_add(&name, ChildKind::File));
+                    model.insert(name, ChildKind::File);
+                }
+                1 => {
+                    log.extend(encode_add(&name, ChildKind::Dir));
+                    model.insert(name, ChildKind::Dir);
+                }
+                _ => {
+                    log.extend(encode_remove(&name));
+                    model.remove(&name);
+                }
+            }
+        }
+        let folded = fold_dir_log(&log, "/d").unwrap();
+        let expected: Vec<(String, ChildKind)> = model.into_iter().collect();
+        prop_assert_eq!(folded, expected);
+    }
+
+    #[test]
+    fn maxmin_is_feasible_and_maximal(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        routes in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..6, 1..4),
+            1..10,
+        ),
+    ) {
+        let nc = caps.len();
+        let flows: Vec<Vec<usize>> = routes
+            .iter()
+            .map(|r| r.iter().map(|&c| c % nc).collect::<Vec<_>>())
+            .map(|mut r| {
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let rates = maxmin_rates(&caps, &flows);
+        let mut used = vec![0.0f64; nc];
+        for (f, route) in flows.iter().enumerate() {
+            prop_assert!(rates[f] >= 0.0);
+            for &c in route {
+                used[c] += rates[f];
+            }
+        }
+        for c in 0..nc {
+            prop_assert!(used[c] <= caps[c] * (1.0 + 1e-6), "oversubscribed {c}");
+        }
+        for (f, route) in flows.iter().enumerate() {
+            let saturated = route.iter().any(|&c| used[c] >= caps[c] * (1.0 - 1e-6));
+            prop_assert!(saturated, "flow {f} could still grow");
+        }
+    }
+
+    #[test]
+    fn distributors_are_total_and_stable(
+        keys in proptest::collection::vec("[a-z0-9/._-]{1,40}", 1..50),
+        n_servers in 1usize..32,
+    ) {
+        let modulo = ModuloRing::new(n_servers, HashScheme::Fnv1a);
+        let ketama = KetamaRing::with_n_servers(n_servers, 32);
+        for k in &keys {
+            let m1 = modulo.server_for(k.as_bytes());
+            let m2 = modulo.server_for(k.as_bytes());
+            prop_assert_eq!(m1, m2);
+            prop_assert!(m1.0 < n_servers);
+            let k1 = ketama.server_for(k.as_bytes());
+            prop_assert!(k1.0 < n_servers);
+            prop_assert_eq!(k1, ketama.server_for(k.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn ketama_remap_is_bounded(n in 4usize..24) {
+        let before = KetamaRing::with_n_servers(n, 160);
+        let after = KetamaRing::with_n_servers(n + 1, 160);
+        let keys: Vec<String> = (0..800).map(|i| format!("s:/wf/file{i}#0")).collect();
+        let moved = keys
+            .iter()
+            .filter(|k| before.server_for(k.as_bytes()) != after.server_for(k.as_bytes()))
+            .count();
+        // Ideal is 1/(n+1); allow 3x slack for virtual-point variance.
+        let bound = (keys.len() * 3) / (n + 1) + 40;
+        prop_assert!(moved <= bound, "moved {moved} of {} (bound {bound})", keys.len());
+    }
+}
