@@ -436,13 +436,11 @@ mod tests {
         // Data is all on node 0, but metadata keys should appear on
         // multiple nodes.
         let meta_nodes = (0..4)
-            .filter(|&i| {
-                c.node_store(i)
-                    .keys()
-                    .iter()
-                    .any(|k| k.starts_with(b"am:"))
-            })
+            .filter(|&i| c.node_store(i).keys().iter().any(|k| k.starts_with(b"am:")))
             .count();
-        assert!(meta_nodes >= 2, "metadata concentrated on {meta_nodes} node(s)");
+        assert!(
+            meta_nodes >= 2,
+            "metadata concentrated on {meta_nodes} node(s)"
+        );
     }
 }

@@ -88,9 +88,18 @@ mod tests {
     #[test]
     fn record_round_trip() {
         for rec in [
-            MetaRecord { owner: 3, size: Some(12345) },
-            MetaRecord { owner: 0, size: None },
-            MetaRecord { owner: 63, size: Some(0) },
+            MetaRecord {
+                owner: 3,
+                size: Some(12345),
+            },
+            MetaRecord {
+                owner: 0,
+                size: None,
+            },
+            MetaRecord {
+                owner: 63,
+                size: Some(0),
+            },
         ] {
             assert_eq!(MetaRecord::decode(&rec.encode()).unwrap(), rec);
         }

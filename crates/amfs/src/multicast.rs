@@ -67,7 +67,10 @@ mod tests {
         for round in multicast_rounds(root, n) {
             let snapshot = have.clone();
             for (src, dst) in round {
-                assert!(snapshot.contains(&src), "round uses node {src} before it has data");
+                assert!(
+                    snapshot.contains(&src),
+                    "round uses node {src} before it has data"
+                );
                 have.insert(dst);
             }
         }

@@ -94,5 +94,11 @@ fn bench_concurrent_get(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_set_get, bench_append, bench_eviction, bench_concurrent_get);
+criterion_group!(
+    benches,
+    bench_set_get,
+    bench_append,
+    bench_eviction,
+    bench_concurrent_get
+);
 criterion_main!(benches);

@@ -13,8 +13,9 @@ use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
 fn servers(n: usize) -> Vec<Arc<dyn KvClient>> {
     (0..n)
         .map(|_| {
-            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                as Arc<dyn KvClient>
+            Arc::new(LocalClient::new(Arc::new(Store::new(
+                StoreConfig::default(),
+            )))) as Arc<dyn KvClient>
         })
         .collect()
 }
@@ -29,11 +30,8 @@ fn bench_replicated_write(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
             let mut run = 0u32;
             b.iter(|| {
-                let fs = MemFs::new(
-                    servers(4),
-                    MemFsConfig::default().with_replication(r),
-                )
-                .unwrap();
+                let fs =
+                    MemFs::new(servers(4), MemFsConfig::default().with_replication(r)).unwrap();
                 let path = format!("/rep{run}");
                 run += 1;
                 let mut w = fs.create(&path).unwrap();
@@ -54,11 +52,7 @@ fn bench_replicated_read(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(file_bytes as u64));
     for r in [1usize, 2] {
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
-            let fs = MemFs::new(
-                servers(4),
-                MemFsConfig::default().with_replication(r),
-            )
-            .unwrap();
+            let fs = MemFs::new(servers(4), MemFsConfig::default().with_replication(r)).unwrap();
             fs.write_file("/f", &vec![0u8; file_bytes]).unwrap();
             let mut buf = vec![0u8; 1 << 20];
             b.iter(|| {

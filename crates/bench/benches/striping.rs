@@ -22,8 +22,9 @@ fn bench_layout_planning(c: &mut Criterion) {
 fn servers(n: usize) -> Vec<Arc<dyn KvClient>> {
     (0..n)
         .map(|_| {
-            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                as Arc<dyn KvClient>
+            Arc::new(LocalClient::new(Arc::new(Store::new(
+                StoreConfig::default(),
+            )))) as Arc<dyn KvClient>
         })
         .collect()
 }

@@ -18,24 +18,48 @@ use std::fmt::Write as _;
 /// description each (kept in one place so `--help` and the docs agree).
 pub const ARTIFACTS: &[(&str, &str)] = &[
     ("fig3a", "stripe size vs MemFS I/O bandwidth (real engine)"),
-    ("fig3b", "buffering/prefetching threads vs bandwidth (real engine)"),
-    ("fig4", "MTC Envelope bandwidth vs nodes, 3 file sizes (sim)"),
-    ("fig5", "MTC Envelope throughput vs nodes, 3 file sizes (sim)"),
+    (
+        "fig3b",
+        "buffering/prefetching threads vs bandwidth (real engine)",
+    ),
+    (
+        "fig4",
+        "MTC Envelope bandwidth vs nodes, 3 file sizes (sim)",
+    ),
+    (
+        "fig5",
+        "MTC Envelope throughput vs nodes, 3 file sizes (sim)",
+    ),
     ("fig6", "metadata create/open throughput vs nodes (sim)"),
-    ("tab1", "MTC Envelope at 64 nodes / 1MB, IPoIB vs 1GbE (sim)"),
-    ("tab2", "application descriptions from the workflow generators"),
+    (
+        "tab1",
+        "MTC Envelope at 64 nodes / 1MB, IPoIB vs 1GbE (sim)",
+    ),
+    (
+        "tab2",
+        "application descriptions from the workflow generators",
+    ),
     ("fig7", "vertical scalability on 64 DAS4 nodes (sim)"),
     ("fig8", "horizontal scalability on 8-64 DAS4 nodes (sim)"),
     ("fig9", "Montage 6 aggregate memory consumption (sim)"),
-    ("tab3", "AMFS memory distribution: scheduler node hotspot (sim)"),
+    (
+        "tab3",
+        "AMFS memory distribution: scheduler node hotspot (sim)",
+    ),
     ("fig10", "FUSE mountpoint bottleneck on EC2 (sim)"),
     ("fig11", "MemFS vs AMFS vertical scalability on EC2 (sim)"),
     ("fig12", "Montage 16 vertical scalability, 32 EC2 VMs (sim)"),
     ("fig13", "BLAST vertical scalability, 32 EC2 VMs (sim)"),
     ("fig14", "Montage 12 horizontal scalability on EC2 (sim)"),
     ("fig15", "BLAST horizontal scalability on EC2 (sim)"),
-    ("fig16", "application vs system bandwidth microbenchmark (model)"),
-    ("montage12", "the Montage 12x12 AMFS crash vs MemFS completion (sim)"),
+    (
+        "fig16",
+        "application vs system bandwidth microbenchmark (model)",
+    ),
+    (
+        "montage12",
+        "the Montage 12x12 AMFS crash vs MemFS completion (sim)",
+    ),
 ];
 
 /// Render the help text for the repro binary.

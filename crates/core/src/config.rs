@@ -42,6 +42,16 @@ pub struct MemFsConfig {
     /// by the read cache; 0 disables prefetching (the "Read (no
     /// prefetching)" series of Figure 3b).
     pub prefetch_window: usize,
+    /// Completed stripes accumulated per background drain job. Each job
+    /// groups its stripes by owning server and issues one pipelined
+    /// `set_many` per server, so larger batches amortize round trips; 1
+    /// reproduces the unbatched per-stripe drain. Values above
+    /// `write_buffer_stripes()` are clamped to the in-flight budget.
+    pub write_batch_stripes: usize,
+    /// TCP connections per storage server when mounting over the network
+    /// transport (the [`memfs_memkv::PoolConfig::connections`] knob).
+    /// In-process mounts ignore it.
+    pub pool_connections: usize,
     /// Key distribution scheme.
     pub distributor: DistributorKind,
     /// Replication factor (1 = the paper's configuration). With `r > 1`
@@ -60,6 +70,8 @@ impl Default for MemFsConfig {
             writer_threads: 4,
             prefetch_threads: 4,
             prefetch_window: 8,
+            write_batch_stripes: 4,
+            pool_connections: 4,
             distributor: DistributorKind::default(),
             replication: 1,
         }
@@ -98,6 +110,12 @@ impl MemFsConfig {
         if self.replication == 0 {
             return Err("replication factor must be at least 1".into());
         }
+        if self.write_batch_stripes == 0 {
+            return Err("write_batch_stripes must be at least 1".into());
+        }
+        if self.pool_connections == 0 {
+            return Err("pool_connections must be at least 1".into());
+        }
         Ok(())
     }
 
@@ -135,6 +153,18 @@ impl MemFsConfig {
         self.replication = r;
         self
     }
+
+    /// Builder-style setter for the write-drain batch size.
+    pub fn with_write_batch_stripes(mut self, stripes: usize) -> Self {
+        self.write_batch_stripes = stripes;
+        self
+    }
+
+    /// Builder-style setter for per-server TCP connection count.
+    pub fn with_pool_connections(mut self, connections: usize) -> Self {
+        self.pool_connections = connections;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,11 +180,16 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.write_buffer_stripes(), 16);
         assert_eq!(c.read_cache_stripes(), 16);
+        assert_eq!(c.write_batch_stripes, 4);
+        assert_eq!(c.pool_connections, 4);
     }
 
     #[test]
     fn validation_catches_bad_configs() {
-        assert!(MemFsConfig::default().with_stripe_size(0).validate().is_err());
+        assert!(MemFsConfig::default()
+            .with_stripe_size(0)
+            .validate()
+            .is_err());
         let c = MemFsConfig {
             write_buffer_size: 1024,
             ..MemFsConfig::default()
@@ -168,6 +203,10 @@ mod tests {
             },
             ..MemFsConfig::default()
         };
+        assert!(c.validate().is_err());
+        let c = MemFsConfig::default().with_write_batch_stripes(0);
+        assert!(c.validate().is_err());
+        let c = MemFsConfig::default().with_pool_connections(0);
         assert!(c.validate().is_err());
     }
 

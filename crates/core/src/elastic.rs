@@ -173,7 +173,10 @@ mod tests {
         // Populate directly with many keys.
         for i in 0..400 {
             old_pool
-                .set(format!("s:/data/file{i}#0").as_bytes(), bytes::Bytes::from(vec![0u8; 64]))
+                .set(
+                    format!("s:/data/file{i}#0").as_bytes(),
+                    bytes::Bytes::from(vec![0u8; 64]),
+                )
                 .unwrap();
         }
         let new_pool = ServerPool::new(clients(&all_stores), ketama());
@@ -193,16 +196,24 @@ mod tests {
         let old_pool = ServerPool::new(clients(&all_stores[..8]), DistributorKind::default());
         for i in 0..400 {
             old_pool
-                .set(format!("s:/data/file{i}#0").as_bytes(), bytes::Bytes::from(vec![0u8; 64]))
+                .set(
+                    format!("s:/data/file{i}#0").as_bytes(),
+                    bytes::Bytes::from(vec![0u8; 64]),
+                )
                 .unwrap();
         }
         let new_pool = ServerPool::new(clients(&all_stores), DistributorKind::default());
         let report = rebalance(&old_pool, &new_pool).unwrap();
         let frac = report.moved_keys as f64 / 400.0;
-        assert!(frac > 0.7, "modulo growth should move most keys, moved {frac:.0}%");
+        assert!(
+            frac > 0.7,
+            "modulo growth should move most keys, moved {frac:.0}%"
+        );
         // Everything still readable through the new pool.
         for i in 0..400 {
-            assert!(new_pool.get(format!("s:/data/file{i}#0").as_bytes()).is_ok());
+            assert!(new_pool
+                .get(format!("s:/data/file{i}#0").as_bytes())
+                .is_ok());
         }
     }
 
@@ -212,7 +223,10 @@ mod tests {
         let old_pool = ServerPool::with_replication(clients(&all_stores[..4]), ketama(), 2);
         for i in 0..100 {
             old_pool
-                .set(format!("k{i}").as_bytes(), bytes::Bytes::from(vec![1u8; 32]))
+                .set(
+                    format!("k{i}").as_bytes(),
+                    bytes::Bytes::from(vec![1u8; 32]),
+                )
                 .unwrap();
         }
         let new_pool = ServerPool::with_replication(clients(&all_stores), ketama(), 2);
@@ -220,7 +234,8 @@ mod tests {
         // Every key is on exactly its two new homes.
         for i in 0..100 {
             let key = format!("k{i}");
-            let homes: BTreeSet<usize> = new_pool.servers_for(key.as_bytes()).map(|s| s.0).collect();
+            let homes: BTreeSet<usize> =
+                new_pool.servers_for(key.as_bytes()).map(|s| s.0).collect();
             for (s, store) in all_stores.iter().enumerate() {
                 assert_eq!(
                     store.contains(key.as_bytes()),

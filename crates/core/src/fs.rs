@@ -167,6 +167,7 @@ impl MemFs {
             Arc::clone(&self.inner.pool),
             Arc::clone(&self.inner.writers),
             self.inner.config.write_buffer_stripes(),
+            self.inner.config.write_batch_stripes,
         );
         Ok(WriteHandle {
             fs: self.clone(),
@@ -350,7 +351,9 @@ impl MemFs {
         };
         let layout = self.layout();
         for s in 0..layout.stripe_count(size) {
-            self.inner.pool.delete_quiet(&KeySchema::stripe_key(&p, s))?;
+            self.inner
+                .pool
+                .delete_quiet(&KeySchema::stripe_key(&p, s))?;
         }
         self.inner.pool.delete_quiet(&KeySchema::file_key(&p))?;
         self.inner.pool.append(
@@ -411,10 +414,7 @@ impl WriteHandle {
 
     /// Append `data` at the end of the file.
     pub fn write_all(&mut self, data: &[u8]) -> MemFsResult<()> {
-        self.buffer
-            .as_mut()
-            .ok_or(MemFsError::Closed)?
-            .write(data)
+        self.buffer.as_mut().ok_or(MemFsError::Closed)?.write(data)
     }
 
     /// Write at an explicit offset — permitted only at the current end of
@@ -442,10 +442,10 @@ impl WriteHandle {
     pub fn close(&mut self) -> MemFsResult<()> {
         let mut buffer = self.buffer.take().ok_or(MemFsError::Closed)?;
         let size = buffer.finish()?;
-        self.fs
-            .inner
-            .pool
-            .set(&KeySchema::file_key(&self.path), Bytes::from(meta::encode_size(size)))?;
+        self.fs.inner.pool.set(
+            &KeySchema::file_key(&self.path),
+            Bytes::from(meta::encode_size(size)),
+        )?;
         Ok(())
     }
 }
@@ -545,9 +545,7 @@ impl std::fmt::Debug for ReadHandle {
 
 impl io::Read for ReadHandle {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self
-            .read_at(self.pos, buf)
-            .map_err(io::Error::other)?;
+        let n = self.read_at(self.pos, buf).map_err(io::Error::other)?;
         self.pos += n as u64;
         Ok(n)
     }
@@ -577,22 +575,26 @@ mod tests {
     use memfs_memkv::{LocalClient, Store, StoreConfig};
 
     fn mount(n_servers: usize) -> MemFs {
-        mount_with(n_servers, MemFsConfig {
-            stripe_size: 128,
-            write_buffer_size: 1024,
-            read_cache_size: 1024,
-            writer_threads: 2,
-            prefetch_threads: 2,
-            prefetch_window: 4,
-            ..MemFsConfig::default()
-        })
+        mount_with(
+            n_servers,
+            MemFsConfig {
+                stripe_size: 128,
+                write_buffer_size: 1024,
+                read_cache_size: 1024,
+                writer_threads: 2,
+                prefetch_threads: 2,
+                prefetch_window: 4,
+                ..MemFsConfig::default()
+            },
+        )
     }
 
     fn mount_with(n_servers: usize, config: MemFsConfig) -> MemFs {
         let servers: Vec<Arc<dyn KvClient>> = (0..n_servers)
             .map(|_| {
-                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                    as Arc<dyn KvClient>
+                Arc::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))) as Arc<dyn KvClient>
             })
             .collect();
         MemFs::new(servers, config).unwrap()
@@ -618,10 +620,7 @@ mod tests {
     fn write_once_enforced() {
         let fs = mount(2);
         fs.write_file("/once", b"first").unwrap();
-        assert!(matches!(
-            fs.create("/once"),
-            Err(MemFsError::WriteOnce(_))
-        ));
+        assert!(matches!(fs.create("/once"), Err(MemFsError::WriteOnce(_))));
         // Data unchanged.
         assert_eq!(fs.read_to_vec("/once").unwrap(), b"first");
     }
@@ -630,14 +629,18 @@ mod tests {
     fn write_once_enforced_across_mounts() {
         let servers: Vec<Arc<dyn KvClient>> = (0..2)
             .map(|_| {
-                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                    as Arc<dyn KvClient>
+                Arc::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))) as Arc<dyn KvClient>
             })
             .collect();
         let fs1 = MemFs::new(servers.clone(), MemFsConfig::default()).unwrap();
         let fs2 = MemFs::new(servers, MemFsConfig::default()).unwrap();
         fs1.write_file("/shared", b"from mount 1").unwrap();
-        assert!(matches!(fs2.create("/shared"), Err(MemFsError::WriteOnce(_))));
+        assert!(matches!(
+            fs2.create("/shared"),
+            Err(MemFsError::WriteOnce(_))
+        ));
         assert_eq!(fs2.read_to_vec("/shared").unwrap(), b"from mount 1");
     }
 
@@ -649,7 +652,11 @@ mod tests {
         w.write_at(3, b"def").unwrap();
         assert!(matches!(
             w.write_at(2, b"x"),
-            Err(MemFsError::NonSequentialWrite { requested: 2, expected: 6, .. })
+            Err(MemFsError::NonSequentialWrite {
+                requested: 2,
+                expected: 6,
+                ..
+            })
         ));
         w.close().unwrap();
         assert_eq!(fs.read_to_vec("/f").unwrap(), b"abcdef");
@@ -695,12 +702,24 @@ mod tests {
         assert_eq!(
             entries,
             vec![
-                DirEntry { name: "a.dat".into(), kind: EntryKind::File },
-                DirEntry { name: "b.dat".into(), kind: EntryKind::File },
+                DirEntry {
+                    name: "a.dat".into(),
+                    kind: EntryKind::File
+                },
+                DirEntry {
+                    name: "b.dat".into(),
+                    kind: EntryKind::File
+                },
             ]
         );
         let top = fs.readdir("/").unwrap();
-        assert_eq!(top, vec![DirEntry { name: "proj".into(), kind: EntryKind::Dir }]);
+        assert_eq!(
+            top,
+            vec![DirEntry {
+                name: "proj".into(),
+                kind: EntryKind::Dir
+            }]
+        );
     }
 
     #[test]
@@ -741,7 +760,10 @@ mod tests {
         let fs = mount(2);
         fs.mkdir("/d").unwrap();
         fs.write_file("/d/f", b"x").unwrap();
-        assert!(matches!(fs.rmdir("/d"), Err(MemFsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            fs.rmdir("/d"),
+            Err(MemFsError::DirectoryNotEmpty(_))
+        ));
         fs.unlink("/d/f").unwrap();
         fs.rmdir("/d").unwrap();
         assert!(!fs.exists("/d").unwrap());
@@ -836,8 +858,14 @@ mod tests {
     #[test]
     fn invalid_paths_rejected() {
         let fs = mount(2);
-        assert!(matches!(fs.create("relative"), Err(MemFsError::InvalidPath(_))));
-        assert!(matches!(fs.create("/has space"), Err(MemFsError::InvalidPath(_))));
+        assert!(matches!(
+            fs.create("relative"),
+            Err(MemFsError::InvalidPath(_))
+        ));
+        assert!(matches!(
+            fs.create("/has space"),
+            Err(MemFsError::InvalidPath(_))
+        ));
         assert!(matches!(fs.open("/"), Err(MemFsError::IsADirectory(_))));
         assert!(matches!(fs.create("/"), Err(MemFsError::IsADirectory(_))));
     }
@@ -849,7 +877,10 @@ mod tests {
         assert!(matches!(fs.mkdir("/x"), Err(MemFsError::AlreadyExists(_))));
         fs.mkdir("/y").unwrap();
         assert!(matches!(fs.create("/y"), Err(MemFsError::AlreadyExists(_))));
-        assert!(matches!(fs.readdir("/x"), Err(MemFsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.readdir("/x"),
+            Err(MemFsError::NotADirectory(_))
+        ));
     }
 
     #[test]
@@ -877,7 +908,10 @@ mod tests {
             t.join().unwrap();
         }
         for t in 0..8 {
-            assert_eq!(fs.read_to_vec(&format!("/par{t}")).unwrap(), vec![t as u8; 5_000]);
+            assert_eq!(
+                fs.read_to_vec(&format!("/par{t}")).unwrap(),
+                vec![t as u8; 5_000]
+            );
         }
         assert_eq!(fs.readdir("/").unwrap().len(), 8);
     }

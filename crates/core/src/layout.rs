@@ -76,8 +76,7 @@ impl StripeLayout {
             let stripe = self.stripe_of(pos);
             let stripe_start = stripe * self.stripe_size as u64;
             let offset_in_stripe = (pos - stripe_start) as usize;
-            let span_len =
-                ((end - pos) as usize).min(self.stripe_size - offset_in_stripe);
+            let span_len = ((end - pos) as usize).min(self.stripe_size - offset_in_stripe);
             spans.push(StripeSpan {
                 stripe,
                 offset_in_stripe,
@@ -134,10 +133,26 @@ mod tests {
         assert_eq!(
             spans,
             vec![
-                StripeSpan { stripe: 0, offset_in_stripe: 95, len: 5 },
-                StripeSpan { stripe: 1, offset_in_stripe: 0, len: 100 },
-                StripeSpan { stripe: 2, offset_in_stripe: 0, len: 100 },
-                StripeSpan { stripe: 3, offset_in_stripe: 0, len: 5 },
+                StripeSpan {
+                    stripe: 0,
+                    offset_in_stripe: 95,
+                    len: 5
+                },
+                StripeSpan {
+                    stripe: 1,
+                    offset_in_stripe: 0,
+                    len: 100
+                },
+                StripeSpan {
+                    stripe: 2,
+                    offset_in_stripe: 0,
+                    len: 100
+                },
+                StripeSpan {
+                    stripe: 3,
+                    offset_in_stripe: 0,
+                    len: 5
+                },
             ]
         );
     }

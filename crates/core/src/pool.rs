@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use memfs_hashring::{Distributor, KetamaRing, ModuloRing, ServerId};
+use memfs_hashring::{group_by_server, Distributor, KetamaRing, ModuloRing, ServerId};
 use memfs_memkv::{KvClient, KvError};
 
 use crate::config::DistributorKind;
@@ -149,6 +149,88 @@ impl ServerPool {
         }
     }
 
+    /// Batched routed `get`: keys are grouped by primary server and each
+    /// group travels as **one** [`KvClient::get_many`] call, so a prefetch
+    /// window of `w` stripes over `n` servers costs at most `n` round
+    /// trips instead of `w`. Results come back in input order.
+    ///
+    /// Fallback mirrors [`ServerPool::get`]: a transport failure (of the
+    /// whole batch or a single key) retries that key through the replica
+    /// chain; `NotFound` from a live server is authoritative.
+    pub fn get_many(&self, keys: &[Vec<u8>]) -> Vec<MemFsResult<Bytes>> {
+        let mut out: Vec<Option<MemFsResult<Bytes>>> = (0..keys.len()).map(|_| None).collect();
+        for (server, group) in group_by_server(self.dist.as_ref(), keys)
+            .into_iter()
+            .enumerate()
+        {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<Vec<u8>> = group.iter().map(|&i| keys[i].clone()).collect();
+            match self.client(ServerId(server)).get_many(&batch) {
+                Ok(results) => {
+                    for (&i, r) in group.iter().zip(results) {
+                        out[i] = Some(match r {
+                            Ok(v) => Ok(v),
+                            Err(KvError::NotFound) => Err(KvError::NotFound.into()),
+                            // Per-key transport/server error: replica chain.
+                            Err(_) => self.get(&keys[i]),
+                        });
+                    }
+                }
+                // Whole-batch transport failure: fall back key by key so
+                // replicas (if any) still serve the window.
+                Err(_) => {
+                    for &i in &group {
+                        out[i] = Some(self.get(&keys[i]));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every key grouped exactly once"))
+            .collect()
+    }
+
+    /// Batched routed `set`: items are grouped per replica-holding server
+    /// and each group travels as one pipelined [`KvClient::set_many`]
+    /// call. Fails on the first per-item error after attempting every
+    /// batch (matching `set`'s all-replicas-must-accept contract).
+    pub fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> MemFsResult<()> {
+        // With replication, each item lands on `r` consecutive servers —
+        // build one batch per *target* server across all replicas.
+        let mut batches: Vec<Vec<(Vec<u8>, Bytes)>> = vec![Vec::new(); self.clients.len()];
+        for (key, value) in items {
+            for id in self.servers_for(key) {
+                batches[id.0].push((key.clone(), value.clone()));
+            }
+        }
+        let mut first_err: Option<MemFsError> = None;
+        for (server, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            match self.client(ServerId(server)).set_many(&batch) {
+                Ok(results) => {
+                    if first_err.is_none() {
+                        if let Some(e) = results.into_iter().find_map(|r| r.err()) {
+                            first_err = Some(e.into());
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e.into());
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     /// Routed atomic `append`, applied to every replica (see the ordering
     /// caveat in the type docs).
     pub fn append(&self, key: &[u8], suffix: &[u8]) -> MemFsResult<()> {
@@ -178,7 +260,8 @@ impl ServerPool {
 
     /// Whether a key exists on any live replica.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.servers_for(key).any(|id| self.client(id).contains(key))
+        self.servers_for(key)
+            .any(|id| self.client(id).contains(key))
     }
 }
 
@@ -223,7 +306,102 @@ mod tests {
             p.set(key.as_bytes(), Bytes::from_static(b"x")).unwrap();
         }
         for (i, s) in stores.iter().enumerate() {
-            assert!(s.item_count() > 20, "server {i} got {} items", s.item_count());
+            assert!(
+                s.item_count() > 20,
+                "server {i} got {} items",
+                s.item_count()
+            );
+        }
+    }
+
+    #[test]
+    fn get_many_issues_one_batch_per_server() {
+        let (p, stores) = pool(4);
+        let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("s:/f{i}#0").into_bytes()).collect();
+        let items: Vec<(Vec<u8>, Bytes)> = keys
+            .iter()
+            .map(|k| {
+                (
+                    k.clone(),
+                    Bytes::from(format!("v{}", String::from_utf8_lossy(k))),
+                )
+            })
+            .collect();
+        p.set_many(&items).unwrap();
+        let out = p.get_many(&keys);
+        for (k, r) in keys.iter().zip(out) {
+            assert_eq!(
+                r.unwrap(),
+                Bytes::from(format!("v{}", String::from_utf8_lossy(k)))
+            );
+        }
+        // Each server that owns any of the keys saw exactly ONE batched
+        // multi-get — the acceptance criterion for windowed prefetching.
+        for s in &stores {
+            if s.item_count() > 0 {
+                assert_eq!(s.stats().snapshot().mget_ops, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn get_many_misses_are_per_key() {
+        let (p, _) = pool(3);
+        p.set(b"present", Bytes::from_static(b"yes")).unwrap();
+        let out = p.get_many(&[b"present".to_vec(), b"absent".to_vec()]);
+        assert_eq!(out[0].as_ref().unwrap().as_ref(), b"yes");
+        assert!(matches!(
+            out[1],
+            Err(MemFsError::Storage(KvError::NotFound))
+        ));
+    }
+
+    #[test]
+    fn get_many_falls_back_to_replicas_when_primary_dies() {
+        use memfs_memkv::{FailableClient, LocalClient, Store, StoreConfig};
+        let failables: Vec<Arc<FailableClient<LocalClient>>> = (0..3)
+            .map(|_| {
+                Arc::new(FailableClient::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))))
+            })
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = failables
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn KvClient>)
+            .collect();
+        let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
+        let keys: Vec<Vec<u8>> = (0..24).map(|i| format!("k{i}").into_bytes()).collect();
+        for k in &keys {
+            p.set(k, Bytes::from_static(b"replicated")).unwrap();
+        }
+        // Kill one server: every key it owned as primary must still be
+        // served by its follower through the batched path.
+        failables[0].set_down(true);
+        for r in p.get_many(&keys) {
+            assert_eq!(r.unwrap().as_ref(), b"replicated");
+        }
+    }
+
+    #[test]
+    fn set_many_respects_replication() {
+        use memfs_memkv::{LocalClient, Store, StoreConfig};
+        let stores: Vec<Arc<Store>> = (0..4)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = stores
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect();
+        let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
+        let items: Vec<(Vec<u8>, Bytes)> = (0..16)
+            .map(|i| (format!("k{i}").into_bytes(), Bytes::from_static(b"x")))
+            .collect();
+        p.set_many(&items).unwrap();
+        let copies: u64 = stores.iter().map(|s| s.item_count()).sum();
+        assert_eq!(copies, 32, "16 items x 2 replicas");
+        for (k, _) in &items {
+            assert_eq!(p.get(k).unwrap().as_ref(), b"x");
         }
     }
 
@@ -250,8 +428,9 @@ mod tests {
     fn ketama_pool_works() {
         let stores: Vec<Arc<dyn KvClient>> = (0..4)
             .map(|_| {
-                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                    as Arc<dyn KvClient>
+                Arc::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))) as Arc<dyn KvClient>
             })
             .collect();
         let p = ServerPool::new(
@@ -277,8 +456,9 @@ mod tests {
         drop(p);
         let stores: Vec<Arc<dyn KvClient>> = (0..2)
             .map(|_| {
-                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                    as Arc<dyn KvClient>
+                Arc::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))) as Arc<dyn KvClient>
             })
             .collect();
         ServerPool::with_replication(stores, DistributorKind::default(), 3);

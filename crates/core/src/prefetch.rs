@@ -135,6 +135,12 @@ impl StripeReader {
     }
 
     /// Queue background fetches for stripes `stripe+1 ..= stripe+window`.
+    ///
+    /// The window travels as **per-server multi-gets**: pending stripe
+    /// keys are grouped by owning server and each group becomes one
+    /// worker job issuing a single batched [`ServerPool::get_many`], so a
+    /// window of `w` stripes costs at most one round trip per server
+    /// (fetched in parallel across the pool) instead of `w` round trips.
     fn prefetch_ahead(&self, stripe: u64) {
         let Some(workers) = &self.workers else {
             return;
@@ -143,12 +149,14 @@ impl StripeReader {
             return;
         }
         let total = self.layout.stripe_count(self.file_size);
-        for next in (stripe + 1)..=(stripe + self.window as u64) {
-            if next >= total {
-                break;
-            }
-            {
-                let mut state = self.cache.state.lock();
+        // Reserve the whole window's slots under one lock pass.
+        let mut pending: Vec<u64> = Vec::new();
+        {
+            let mut state = self.cache.state.lock();
+            for next in (stripe + 1)..=(stripe + self.window as u64) {
+                if next >= total {
+                    break;
+                }
                 if state.slots.contains_key(&next) {
                     continue; // ready, in flight, or failed-recently
                 }
@@ -158,20 +166,39 @@ impl StripeReader {
                     break;
                 }
                 state.slots.insert(next, Slot::InFlight);
+                pending.push(next);
             }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let mut groups: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &next in &pending {
             let key = KeySchema::stripe_key(&self.path, next);
+            groups
+                .entry(self.pool.server_for(&key).0)
+                .or_default()
+                .push(next);
+        }
+        for (_server, stripes) in groups {
+            let keys: Vec<Vec<u8>> = stripes
+                .iter()
+                .map(|&s| KeySchema::stripe_key(&self.path, s))
+                .collect();
             let pool = Arc::clone(&self.pool);
             let cache = Arc::clone(&self.cache);
             workers.execute(move || {
-                let result = pool.get(&key);
+                let results = pool.get_many(&keys);
                 let mut state = cache.state.lock();
-                match result {
-                    Ok(data) => {
-                        state.slots.insert(next, Slot::Ready(data));
-                        state.order.push_back(next);
-                    }
-                    Err(_) => {
-                        state.slots.insert(next, Slot::Failed);
+                for (&s, result) in stripes.iter().zip(results) {
+                    match result {
+                        Ok(data) => {
+                            state.slots.insert(s, Slot::Ready(data));
+                            state.order.push_back(s);
+                        }
+                        Err(_) => {
+                            state.slots.insert(s, Slot::Failed);
+                        }
                     }
                 }
                 cache.cv.notify_all();
@@ -212,8 +239,9 @@ mod tests {
     fn setup(file_size: u64, stripe: usize) -> (Arc<ServerPool>, Vec<u8>) {
         let clients: Vec<Arc<dyn KvClient>> = (0..4)
             .map(|_| {
-                Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                    as Arc<dyn KvClient>
+                Arc::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))) as Arc<dyn KvClient>
             })
             .collect();
         let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
@@ -281,7 +309,10 @@ mod tests {
         let r = reader(&pool, 500, 100, 0);
         for s in 0..5 {
             let got = r.stripe(s).unwrap();
-            assert_eq!(got.as_ref(), &data[(s as usize) * 100..(s as usize + 1) * 100]);
+            assert_eq!(
+                got.as_ref(),
+                &data[(s as usize) * 100..(s as usize + 1) * 100]
+            );
         }
         assert_eq!(r.cached_stripes(), 0);
     }
@@ -299,6 +330,52 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert!(r.cached_stripes() >= 8, "prefetch did not fill cache");
+    }
+
+    #[test]
+    fn prefetch_window_issues_one_batch_per_server() {
+        let stores: Vec<Arc<Store>> = (0..4)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = stores
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect();
+        let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
+        let layout = StripeLayout::new(100);
+        for s in 0..layout.stripe_count(2000) {
+            pool.set(
+                &KeySchema::stripe_key("/f", s),
+                Bytes::from(vec![s as u8; 100]),
+            )
+            .unwrap();
+        }
+        let workers = Some(Arc::new(ThreadPool::new(4, "pf")));
+        let r = StripeReader::new("/f".into(), layout, 2000, Arc::clone(&pool), workers, 8, 16);
+        // One read triggers exactly one prefetch window (stripes 1..=8).
+        let owners: std::collections::HashSet<usize> = (1..=8u64)
+            .map(|s| pool.server_for(&KeySchema::stripe_key("/f", s)).0)
+            .collect();
+        r.stripe(0).unwrap();
+        // Wait until every per-server batch job has landed (InFlight slots
+        // are reserved synchronously, so cache size can't tell us).
+        for _ in 0..1000 {
+            let batches: u64 = stores.iter().map(|s| s.stats().snapshot().mget_ops).sum();
+            if batches >= owners.len() as u64 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Acceptance criterion: every server owning part of the window saw
+        // exactly ONE batched multi-get, never one request per stripe.
+        for (i, store) in stores.iter().enumerate() {
+            let expected = usize::from(owners.contains(&i)) as u64;
+            assert_eq!(
+                store.stats().snapshot().mget_ops,
+                expected,
+                "server {i} batch count"
+            );
+        }
     }
 
     #[test]

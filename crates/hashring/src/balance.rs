@@ -110,8 +110,7 @@ mod tests {
         // The paper's workload shape: many files, each striped.
         let keys = stripe_keys(500, 16);
         let d = ModuloRing::new(64, HashScheme::Fnv1a);
-        let report =
-            BalanceReport::measure(&d, keys.iter().map(|k| (k.as_slice(), 512 * 1024u64)));
+        let report = BalanceReport::measure(&d, keys.iter().map(|k| (k.as_slice(), 512 * 1024u64)));
         assert_eq!(report.total(), 500 * 16 * 512 * 1024);
         assert!(
             report.imbalance() < 1.25,

@@ -37,6 +37,22 @@ pub trait Distributor: Send + Sync {
     fn n_servers(&self) -> usize;
 }
 
+/// Group `keys` by owning server: `groups[s]` lists the *indices* (into
+/// `keys`) of every key whose primary server is `s`, preserving input
+/// order within each group.
+///
+/// This is the placement half of batched transport: the caller turns each
+/// group into one multi-key request to that server instead of one request
+/// per key. Index lists (rather than cloned keys) keep grouping
+/// allocation-free apart from the group vectors themselves.
+pub fn group_by_server<K: AsRef<[u8]>>(dist: &dyn Distributor, keys: &[K]) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); dist.n_servers()];
+    for (i, key) in keys.iter().enumerate() {
+        groups[dist.server_for(key.as_ref()).0].push(i);
+    }
+    groups
+}
+
 /// The paper's scheme: `hash(key) mod N` (§3.1.2). Perfectly balanced for
 /// uniformly hashed keys; remaps almost everything when `N` changes.
 #[derive(Debug, Clone)]
@@ -153,7 +169,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("/data/file{i}.fits#{}", i % 8)).collect()
+        (0..n)
+            .map(|i| format!("/data/file{i}.fits#{}", i % 8))
+            .collect()
     }
 
     #[test]
@@ -166,6 +184,33 @@ mod tests {
             seen[s.0] = true;
         }
         assert!(seen.iter().all(|&s| s), "every server should receive keys");
+    }
+
+    #[test]
+    fn group_by_server_partitions_all_keys_in_order() {
+        let d = ModuloRing::new(4, HashScheme::Fnv1a);
+        let ks = keys(100);
+        let groups = group_by_server(&d, &ks);
+        assert_eq!(groups.len(), 4);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 100, "every key lands in exactly one group");
+        for (s, group) in groups.iter().enumerate() {
+            // Correct ownership, and input order preserved within a group.
+            for w in group.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &i in group {
+                assert_eq!(d.server_for(ks[i].as_bytes()).0, s);
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_server_handles_empty_input() {
+        let d = ModuloRing::new(3, HashScheme::Fnv1a);
+        let groups = group_by_server(&d, &Vec::<Vec<u8>>::new());
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.is_empty()));
     }
 
     #[test]
@@ -219,7 +264,11 @@ mod tests {
             .count();
         // Ideal is 1/9 ≈ 11%; allow generous slack for virtual-point noise.
         let frac = moved as f64 / ks.len() as f64;
-        assert!(frac < 0.25, "consistent hashing moved {:.0}% of keys", frac * 100.0);
+        assert!(
+            frac < 0.25,
+            "consistent hashing moved {:.0}% of keys",
+            frac * 100.0
+        );
         assert!(frac > 0.02, "growing the ring must move some keys");
     }
 

@@ -25,5 +25,5 @@ pub mod dist;
 pub mod hash;
 pub mod schema;
 
-pub use dist::{Distributor, HashScheme, KetamaRing, ModuloRing, ServerId};
+pub use dist::{group_by_server, Distributor, HashScheme, KetamaRing, ModuloRing, ServerId};
 pub use schema::KeySchema;

@@ -34,6 +34,25 @@ pub trait KvClient: Send + Sync {
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()>;
     /// Remove a key.
     fn delete(&self, key: &[u8]) -> KvResult<()>;
+    /// Fetch several keys in one round trip, returning one result per key
+    /// in request order. The outer `Err` is a transport-level failure (no
+    /// per-key information); per-key misses surface as inner
+    /// [`KvError::NotFound`](crate::error::KvError::NotFound).
+    ///
+    /// The default loops over [`KvClient::get`]; batching transports
+    /// override it ([`LocalClient`] dispatches one engine batch,
+    /// [`crate::net::TcpClient`] sends pipelined multi-key `get` frames).
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        Ok(keys.iter().map(|k| self.get(k)).collect())
+    }
+    /// Store several key/value pairs, returning one result per pair in
+    /// request order. Same error split as [`KvClient::get_many`].
+    ///
+    /// The default loops over [`KvClient::set`]; pipelining transports
+    /// override it to write every frame before reading any reply.
+    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        Ok(items.iter().map(|(k, v)| self.set(k, v.clone())).collect())
+    }
     /// Whether a key exists (no read traffic accounted).
     fn contains(&self, key: &[u8]) -> bool {
         self.get(key).is_ok()
@@ -68,7 +87,12 @@ impl LocalClient {
 
 impl KvClient for LocalClient {
     fn scan_keys(&self) -> KvResult<Vec<Vec<u8>>> {
-        Ok(self.store.keys().into_iter().map(|k| k.into_vec()).collect())
+        Ok(self
+            .store
+            .keys()
+            .into_iter()
+            .map(|k| k.into_vec())
+            .collect())
     }
 
     fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
@@ -79,6 +103,9 @@ impl KvClient for LocalClient {
     }
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
         self.store.get(key)
+    }
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        Ok(self.store.get_many(keys))
     }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
         self.store.append(key, suffix)
@@ -182,6 +209,23 @@ impl<C: KvClient> KvClient for ThrottledClient<C> {
         self.delay(out.as_ref().map(|v| v.len()).unwrap_or(0));
         out
     }
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        // One round trip for the whole batch: a single latency charge plus
+        // bandwidth on the combined payload — the cost model that makes
+        // batching worth doing over a shaped link.
+        let out = self.inner.get_many(keys)?;
+        let total: usize = out
+            .iter()
+            .map(|r| r.as_ref().map(|v| v.len()).unwrap_or(0))
+            .sum();
+        self.delay(total);
+        Ok(out)
+    }
+    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        let total: usize = items.iter().map(|(_, v)| v.len()).sum();
+        self.delay(total);
+        self.inner.set_many(items)
+    }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
         self.delay(suffix.len());
         self.inner.append(key, suffix)
@@ -254,6 +298,14 @@ impl<C: KvClient> KvClient for FailableClient<C> {
         self.check()?;
         self.inner.get(key)
     }
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        self.check()?;
+        self.inner.get_many(keys)
+    }
+    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        self.check()?;
+        self.inner.set_many(items)
+    }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
         self.check()?;
         self.inner.append(key, suffix)
@@ -283,6 +335,12 @@ impl<C: KvClient + ?Sized> KvClient for Arc<C> {
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
         (**self).get(key)
     }
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        (**self).get_many(keys)
+    }
+    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        (**self).set_many(items)
+    }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
         (**self).append(key, suffix)
     }
@@ -311,6 +369,35 @@ mod tests {
         assert!(c.contains(b"k"));
         c.delete(b"k").unwrap();
         assert!(!c.contains(b"k"));
+    }
+
+    #[test]
+    fn get_many_and_set_many_defaults() {
+        let c = local();
+        let items = vec![
+            (b"a".to_vec(), Bytes::from_static(b"1")),
+            (b"b".to_vec(), Bytes::from_static(b"2")),
+        ];
+        for r in c.set_many(&items).unwrap() {
+            r.unwrap();
+        }
+        let out = c
+            .get_many(&[b"a".to_vec(), b"missing".to_vec(), b"b".to_vec()])
+            .unwrap();
+        assert_eq!(out[0].as_ref().unwrap().as_ref(), b"1");
+        assert!(out[1].is_err());
+        assert_eq!(out[2].as_ref().unwrap().as_ref(), b"2");
+        // LocalClient routes the batch through the engine's batched path.
+        assert_eq!(c.store().stats().snapshot().mget_ops, 1);
+    }
+
+    #[test]
+    fn failable_client_blocks_batches_too() {
+        let c = FailableClient::new(local());
+        c.set(b"k", Bytes::from_static(b"v")).unwrap();
+        c.set_down(true);
+        assert!(c.get_many(&[b"k".to_vec()]).is_err());
+        assert!(c.set_many(&[(b"k".to_vec(), Bytes::new())]).is_err());
     }
 
     #[test]
@@ -354,7 +441,10 @@ mod tests {
         c.set(b"k", Bytes::from_static(b"v")).unwrap();
         c.set_down(true);
         assert!(matches!(c.get(b"k"), Err(crate::error::KvError::Io(_))));
-        assert!(matches!(c.set(b"x", Bytes::new()), Err(crate::error::KvError::Io(_))));
+        assert!(matches!(
+            c.set(b"x", Bytes::new()),
+            Err(crate::error::KvError::Io(_))
+        ));
         assert!(!c.contains(b"k"));
         c.set_down(false);
         assert_eq!(c.get(b"k").unwrap().as_ref(), b"v");

@@ -45,7 +45,10 @@ impl fmt::Display for KvError {
             KvError::NotFound => write!(f, "key not found"),
             KvError::Exists => write!(f, "key already exists"),
             KvError::ValueTooLarge { size, limit } => {
-                write!(f, "value of {size} bytes exceeds item limit of {limit} bytes")
+                write!(
+                    f,
+                    "value of {size} bytes exceeds item limit of {limit} bytes"
+                )
             }
             KvError::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds 250-byte limit"),
             KvError::BadKey => write!(f, "key contains space or control bytes"),
@@ -87,9 +90,12 @@ mod tests {
         assert!(KvError::ValueTooLarge { size: 10, limit: 5 }
             .to_string()
             .contains("exceeds item limit"));
-        assert!(KvError::OutOfMemory { needed: 1, budget: 0 }
-            .to_string()
-            .contains("store full"));
+        assert!(KvError::OutOfMemory {
+            needed: 1,
+            budget: 0
+        }
+        .to_string()
+        .contains("store full"));
     }
 
     #[test]

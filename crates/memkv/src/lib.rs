@@ -38,5 +38,6 @@ pub mod store;
 
 pub use client::{FailableClient, KvClient, LocalClient, ThrottledClient};
 pub use error::KvError;
+pub use net::{KvServer, PoolConfig, TcpClient};
 pub use stats::StoreStats;
 pub use store::{EvictionPolicy, Store, StoreConfig};

@@ -5,20 +5,29 @@
 //! [`KvServer`] per storage node, a [`TcpClient`] per server inside every
 //! MemFS mount (the Libmemcached role). The `tcp_cluster` example runs a
 //! whole striped file system over localhost sockets.
+//!
+//! The client is a **connection pool** ([`PoolConfig`] sizes it) and every
+//! request batch is **pipelined**: all frames of a batch are written to one
+//! connection, flushed once, and the replies are read back in order. Both
+//! sides reuse per-connection scratch buffers for encoding/parsing and
+//! transmit value payloads with vectored writes, so stripe-sized values are
+//! never copied into an intermediate wire buffer.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::client::KvClient;
 use crate::error::{KvError, KvResult};
 use crate::proto::{
-    encode_request, encode_response, parse_request, stats_pairs, Parsed, Request, Response,
+    parse_request, stats_pairs, write_request_line, write_response, write_value_header, Parsed,
+    Request, Response, ValueItem, MAX_LINE_LEN,
 };
 use crate::store::Store;
 
@@ -112,12 +121,90 @@ fn accept_loop(listener: TcpListener, store: Arc<Store>, shutdown: Arc<AtomicBoo
     }
 }
 
+/// Write `parts` as one frame, preferring a single vectored syscall so
+/// value payloads never get copied into the encode scratch buffer.
+fn write_all_vectored<W: Write>(writer: &mut W, parts: &[&[u8]]) -> std::io::Result<()> {
+    let mut part = 0usize;
+    let mut off = 0usize;
+    while part < parts.len() {
+        if off == parts[part].len() {
+            part += 1;
+            off = 0;
+            continue;
+        }
+        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&parts[part][off..]))
+            .chain(
+                parts[part + 1..]
+                    .iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| IoSlice::new(p)),
+            )
+            .collect();
+        let mut n = writer.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write frame",
+            ));
+        }
+        while part < parts.len() {
+            let avail = parts[part].len() - off;
+            if n >= avail {
+                n -= avail;
+                part += 1;
+                off = 0;
+            } else {
+                off += n;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Transmit one response, reusing `scratch` for the header bytes and
+/// passing value payloads through as their own iovec entries.
+fn write_response_frame<W: Write>(
+    writer: &mut W,
+    scratch: &mut Vec<u8>,
+    resp: &Response,
+) -> std::io::Result<()> {
+    scratch.clear();
+    match resp {
+        Response::Value { key, value, cas } => {
+            write_value_header(scratch, key, value.len(), *cas);
+            write_all_vectored(writer, &[scratch, value, b"\r\nEND\r\n"])
+        }
+        Response::Values(items) => {
+            let mut ranges = Vec::with_capacity(items.len());
+            for item in items {
+                let start = scratch.len();
+                write_value_header(scratch, &item.key, item.value.len(), item.cas);
+                ranges.push(start..scratch.len());
+            }
+            let mut parts: Vec<&[u8]> = Vec::with_capacity(items.len() * 3 + 1);
+            for (item, range) in items.iter().zip(ranges) {
+                parts.push(&scratch[range]);
+                parts.push(&item.value);
+                parts.push(b"\r\n");
+            }
+            parts.push(b"END\r\n");
+            write_all_vectored(writer, &parts)
+        }
+        other => {
+            write_response(other, scratch);
+            writer.write_all(scratch)
+        }
+    }
+}
+
 /// Serve one connection until `quit`, EOF, or a fatal error.
 fn serve_connection(stream: TcpStream, store: &Store, shutdown: &AtomicBool) -> KvResult<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut out: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 64 * 1024];
 
     loop {
@@ -134,12 +221,12 @@ fn serve_connection(stream: TcpStream, store: &Store, shutdown: &AtomicBool) -> 
                         return Ok(());
                     }
                     let resp = execute(store, req);
-                    writer.write_all(&encode_response(&resp))?;
+                    write_response_frame(&mut writer, &mut out, &resp)?;
                 }
                 Ok(Parsed::NeedMore) => break,
                 Err(e) => {
                     let resp = Response::ClientError(e.to_string());
-                    writer.write_all(&encode_response(&resp))?;
+                    write_response_frame(&mut writer, &mut out, &resp)?;
                     writer.flush()?;
                     return Err(e);
                 }
@@ -178,22 +265,57 @@ pub fn execute(store: &Store, req: Request) -> Response {
             Err(KvError::NotFound) => Response::NotFound,
             Err(e) => storage_error(e),
         },
-        Request::Get { key } => match store.get(&key) {
-            Ok(value) => Response::Value {
-                key,
-                value,
-                cas: None,
-            },
-            Err(_) => Response::End,
-        },
-        Request::Gets { key } => match store.gets(&key) {
-            Ok((value, cas)) => Response::Value {
-                key,
-                value,
-                cas: Some(cas),
-            },
-            Err(_) => Response::End,
-        },
+        Request::Get { keys } => {
+            if keys.len() == 1 {
+                // Single-key fast path; does not count as a batch.
+                let key = keys.into_iter().next().expect("one key");
+                return match store.get(&key) {
+                    Ok(value) => Response::Value {
+                        key,
+                        value,
+                        cas: None,
+                    },
+                    Err(_) => Response::End,
+                };
+            }
+            let results = store.get_many(&keys);
+            let items: Vec<ValueItem> = keys
+                .into_iter()
+                .zip(results)
+                .filter_map(|(key, r)| {
+                    r.ok().map(|value| ValueItem {
+                        key,
+                        value,
+                        cas: None,
+                    })
+                })
+                .collect();
+            values_response(items)
+        }
+        Request::Gets { keys } => {
+            if keys.len() == 1 {
+                let key = keys.into_iter().next().expect("one key");
+                return match store.gets(&key) {
+                    Ok((value, cas)) => Response::Value {
+                        key,
+                        value,
+                        cas: Some(cas),
+                    },
+                    Err(_) => Response::End,
+                };
+            }
+            let items: Vec<ValueItem> = keys
+                .into_iter()
+                .filter_map(|key| {
+                    store.gets(&key).ok().map(|(value, cas)| ValueItem {
+                        key,
+                        value,
+                        cas: Some(cas),
+                    })
+                })
+                .collect();
+            values_response(items)
+        }
         Request::Delete { key } => match store.delete(&key) {
             Ok(()) => Response::Deleted,
             Err(_) => Response::NotFound,
@@ -203,11 +325,29 @@ pub fn execute(store: &Store, req: Request) -> Response {
             Response::Ok
         }
         Request::Stats => Response::Stats(stats_pairs(&store.stats().snapshot())),
-        Request::Keys => Response::KeyList(
-            store.keys().into_iter().map(|k| k.into_vec()).collect(),
-        ),
+        Request::Keys => {
+            Response::KeyList(store.keys().into_iter().map(|k| k.into_vec()).collect())
+        }
         Request::Version => Response::Version(SERVER_VERSION.to_string()),
         Request::Quit => Response::Ok, // handled by the connection loop
+    }
+}
+
+/// Collapse a multi-get's hits into the smallest correct response frame:
+/// misses-only → bare `END`, one hit → a plain `VALUE` block, several →
+/// consecutive blocks. All three produce memcached-compatible wire bytes.
+fn values_response(mut items: Vec<ValueItem>) -> Response {
+    match items.len() {
+        0 => Response::End,
+        1 => {
+            let item = items.pop().expect("one item");
+            Response::Value {
+                key: item.key,
+                value: item.value,
+                cas: item.cas,
+            }
+        }
+        _ => Response::Values(items),
     }
 }
 
@@ -220,35 +360,111 @@ fn storage_error(e: KvError) -> Response {
     }
 }
 
+/// Sizing knobs for a [`TcpClient`]'s connection pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of TCP connections to keep open to the server. Each is
+    /// independently mutex-guarded, so up to `connections` threads issue
+    /// requests concurrently without queueing on one socket.
+    pub connections: usize,
+    /// Upper bound on keys packed into one multi-key `get` line; larger
+    /// batches are split into pipelined frames on the same connection.
+    pub max_batch_keys: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            connections: 4,
+            max_batch_keys: 64,
+        }
+    }
+}
+
 /// A blocking TCP client for one server, implementing [`KvClient`].
 ///
-/// The connection is mutex-guarded so a single `TcpClient` can be shared by
-/// the MemFS thread pools; for higher parallelism create several clients to
-/// the same server (as Libmemcached does with its connection pools).
+/// Holds a pool of connections ([`PoolConfig::connections`]); each request
+/// leases one — preferring an idle connection, falling back to queueing —
+/// so the MemFS thread pools drive one `TcpClient` per server without
+/// serializing on a single socket (the role Libmemcached's connection
+/// pools play in the paper's deployment).
+///
+/// Batch operations ([`KvClient::get_many`], [`KvClient::set_many`]) are
+/// *pipelined*: every frame is written to the leased connection, the
+/// socket is flushed once, and the replies are read back in order.
+///
+/// A connection that dies mid-call is reopened; the request is retried
+/// once, transparently, when it is idempotent (`get`/`set`/`delete`…).
+/// Non-idempotent verbs (`add`/`append`/`cas`) surface the I/O error
+/// instead — retrying those could double-apply.
 pub struct TcpClient {
-    conn: Mutex<Conn>,
+    conns: Vec<Mutex<Conn>>,
+    next: AtomicUsize,
     addr: SocketAddr,
+    config: PoolConfig,
 }
 
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Reusable parse buffer for inbound bytes.
     buf: Vec<u8>,
+    /// Reusable encode buffer for outbound command lines.
+    out: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> KvResult<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            buf: Vec::with_capacity(4096),
+            out: Vec::with_capacity(512),
+        })
+    }
+}
+
+/// Whether a request may be transparently resent after a connection drop.
+fn is_idempotent(req: &Request) -> bool {
+    !matches!(
+        req,
+        Request::Add { .. } | Request::Append { .. } | Request::Cas { .. }
+    )
 }
 
 impl TcpClient {
-    /// Connect to a server.
+    /// Connect to a server with the default pool size.
     pub fn connect(addr: impl ToSocketAddrs) -> KvResult<TcpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let addr = stream.peer_addr()?;
+        Self::connect_with(addr, PoolConfig::default())
+    }
+
+    /// Connect to a server with explicit pool sizing.
+    ///
+    /// # Panics
+    /// Panics if `config.connections == 0` or `config.max_batch_keys == 0`.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: PoolConfig) -> KvResult<TcpClient> {
+        assert!(config.connections > 0, "pool needs at least one connection");
+        assert!(config.max_batch_keys > 0, "batches need at least one key");
+        let first = TcpStream::connect(addr)?;
+        first.set_nodelay(true)?;
+        let addr = first.peer_addr()?;
+        let mut conns = Vec::with_capacity(config.connections);
+        conns.push(Mutex::new(Conn {
+            reader: BufReader::new(first.try_clone()?),
+            writer: BufWriter::new(first),
+            buf: Vec::with_capacity(4096),
+            out: Vec::with_capacity(512),
+        }));
+        for _ in 1..config.connections {
+            conns.push(Mutex::new(Conn::open(addr)?));
+        }
         Ok(TcpClient {
-            conn: Mutex::new(Conn {
-                reader: BufReader::new(stream.try_clone()?),
-                writer: BufWriter::new(stream),
-                buf: Vec::with_capacity(4096),
-            }),
+            conns,
+            next: AtomicUsize::new(0),
             addr,
+            config,
         })
     }
 
@@ -257,13 +473,56 @@ impl TcpClient {
         self.addr
     }
 
+    /// Number of pooled connections.
+    pub fn pool_size(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Lease a connection: round-robin over the pool, preferring one that
+    /// is currently idle, blocking on the starting slot only when every
+    /// connection is busy.
+    fn lease(&self) -> MutexGuard<'_, Conn> {
+        let n = self.conns.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            if let Some(guard) = self.conns[(start + i) % n].try_lock() {
+                return guard;
+            }
+        }
+        self.conns[start % n].lock()
+    }
+
+    /// Write every request to one leased connection, flush once, read the
+    /// replies back in order. Recovers from a dropped connection by
+    /// reopening it and — when every request in the batch is idempotent —
+    /// replaying the batch once.
+    fn exchange(&self, reqs: &[Request]) -> KvResult<Vec<Response>> {
+        let mut conn = self.lease();
+        match exchange_on(&mut conn, reqs) {
+            Ok(resps) => Ok(resps),
+            Err(KvError::Io(err)) => {
+                // The socket is dead either way; reopen it so the pool
+                // slot recovers even if we cannot safely retry.
+                match Conn::open(self.addr) {
+                    Ok(fresh) => {
+                        *conn = fresh;
+                        if reqs.iter().all(is_idempotent) {
+                            exchange_on(&mut conn, reqs)
+                        } else {
+                            Err(KvError::Io(err))
+                        }
+                    }
+                    Err(_) => Err(KvError::Io(err)),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Issue a request and wait for its response.
     pub fn call(&self, req: &Request) -> KvResult<Response> {
-        let mut conn = self.conn.lock();
-        let wire = encode_request(req);
-        conn.writer.write_all(&wire)?;
-        conn.writer.flush()?;
-        read_response(&mut conn)
+        let mut resps = self.exchange(std::slice::from_ref(req))?;
+        Ok(resps.pop().expect("one response per request"))
     }
 
     /// Fetch server statistics.
@@ -287,7 +546,9 @@ impl TcpClient {
 
     /// Fetch a value together with its CAS token (`gets`).
     pub fn gets(&self, key: &[u8]) -> KvResult<(Bytes, u64)> {
-        match self.call(&Request::Gets { key: key.to_vec() })? {
+        match self.call(&Request::Gets {
+            keys: vec![key.to_vec()],
+        })? {
             Response::Value {
                 value,
                 cas: Some(token),
@@ -313,32 +574,86 @@ impl TcpClient {
     }
 }
 
+/// Run one pipelined batch on a connection: encode and write every frame,
+/// flush once, then read the responses back in order.
+fn exchange_on(conn: &mut Conn, reqs: &[Request]) -> KvResult<Vec<Response>> {
+    // A previous failed call may have left partial response bytes behind;
+    // they belong to no live request.
+    conn.buf.clear();
+    for req in reqs {
+        conn.out.clear();
+        match write_request_line(req, &mut conn.out) {
+            Some(value) => write_all_vectored(&mut conn.writer, &[&conn.out, value, b"\r\n"])?,
+            None => conn.writer.write_all(&conn.out)?,
+        }
+    }
+    conn.writer.flush()?;
+    let mut resps = Vec::with_capacity(reqs.len());
+    for _ in reqs {
+        resps.push(read_response(conn)?);
+    }
+    Ok(resps)
+}
+
+/// Outcome of one parse attempt over the accumulated response bytes.
+enum ParseStep {
+    /// A complete response was consumed from the buffer.
+    Done(Response),
+    /// The frame is incomplete; at least this many more bytes are needed.
+    /// (A lower bound — `VALUE` framing knows the exact payload remainder,
+    /// line-oriented frames just ask for "more".)
+    More(usize),
+}
+
 /// Parse one server response from the connection.
+///
+/// Bytes are read straight into the connection's scratch buffer, sized by
+/// the parser's byte-count hint: once a `VALUE` header announces its
+/// payload length, the whole remainder is requested in large reads
+/// instead of fixed small chunks with a parse attempt between each — that
+/// re-parse-per-chunk pattern throttled multi-megabyte pipelined frames.
 fn read_response(conn: &mut Conn) -> KvResult<Response> {
-    let mut chunk = [0u8; 64 * 1024];
+    const READ_CHUNK: usize = 64 * 1024;
+    let mut chunk = [0u8; READ_CHUNK];
     loop {
-        if let Some(resp) = try_parse_response(&mut conn.buf)? {
-            return Ok(resp);
-        }
-        let n = conn.reader.read(&mut chunk)?;
+        let hint = match try_parse_response(&mut conn.buf)? {
+            ParseStep::Done(resp) => return Ok(resp),
+            ParseStep::More(hint) => hint,
+        };
+        let n = if hint >= READ_CHUNK {
+            // Bulk remainder of a value frame: the byte count is known, so
+            // append it straight into the scratch buffer in one pass (no
+            // intermediate chunk copies, no parse attempts in between).
+            (&mut conn.reader)
+                .take(hint as u64)
+                .read_to_end(&mut conn.buf)?
+        } else {
+            let n = conn.reader.read(&mut chunk)?;
+            conn.buf.extend_from_slice(&chunk[..n]);
+            n
+        };
         if n == 0 {
-            return Err(KvError::Protocol("server closed connection".into()));
+            // Surfaced as I/O so the pool's reconnect-and-retry logic
+            // treats a mid-call server drop like any other link failure.
+            return Err(KvError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )));
         }
-        conn.buf.extend_from_slice(&chunk[..n]);
     }
 }
 
 /// Try to parse one response from the front of `buf`, consuming it.
-fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<Option<Response>> {
+fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<ParseStep> {
     let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") else {
-        return Ok(None);
+        return Ok(ParseStep::More(2));
     };
     let line = buf[..line_end].to_vec();
     let consume_line = line_end + 2;
 
     let simple = |buf: &mut Vec<u8>, resp: Response| {
         buf.drain(..consume_line);
-        Ok(Some(resp))
+        Ok(ParseStep::Done(resp))
     };
 
     if line == b"STORED" {
@@ -381,13 +696,13 @@ fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<Option<Response>> {
         loop {
             let rest = &buf[pos..];
             let Some(le) = rest.windows(2).position(|w| w == b"\r\n") else {
-                return Ok(None);
+                return Ok(ParseStep::More(2));
             };
             let l = &rest[..le];
             pos += le + 2;
             if l == b"END" {
                 buf.drain(..pos);
-                return Ok(Some(Response::KeyList(keys)));
+                return Ok(ParseStep::Done(Response::KeyList(keys)));
             }
             let Some(k) = l.strip_prefix(b"KEY ") else {
                 return Err(KvError::Protocol("malformed key list".into()));
@@ -402,13 +717,13 @@ fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<Option<Response>> {
         loop {
             let rest = &buf[pos..];
             let Some(le) = rest.windows(2).position(|w| w == b"\r\n") else {
-                return Ok(None);
+                return Ok(ParseStep::More(2));
             };
             let l = &rest[..le];
             pos += le + 2;
             if l == b"END" {
                 buf.drain(..pos);
-                return Ok(Some(Response::Stats(pairs)));
+                return Ok(ParseStep::Done(Response::Stats(pairs)));
             }
             let Some(kv) = l.strip_prefix(b"STAT ") else {
                 return Err(KvError::Protocol("malformed stats block".into()));
@@ -420,38 +735,111 @@ fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<Option<Response>> {
             pairs.push((k, v));
         }
     }
-    if let Some(rest) = line.strip_prefix(b"VALUE ") {
-        // VALUE <key> <flags> <bytes> [cas]\r\n<data>\r\nEND\r\n
-        let text = String::from_utf8_lossy(rest).into_owned();
-        let toks: Vec<&str> = text.split(' ').collect();
-        if toks.len() < 3 {
-            return Err(KvError::Protocol("malformed VALUE line".into()));
+    if line.starts_with(b"VALUE ") {
+        // One or more `VALUE <key> <flags> <bytes> [cas]\r\n<data>\r\n`
+        // blocks terminated by `END\r\n` — a (multi-)get reply.
+        //
+        // Scan in two passes: the first only records item boundaries, so
+        // the retries read_response makes while a large pipelined frame
+        // trickles in stay cheap (no per-attempt data copies — copying
+        // each value on every attempt would make a `w`-stripe window
+        // quadratic in its payload size). Values are materialized once,
+        // after `END` proves the frame is complete.
+        struct RawItem {
+            key: (usize, usize),
+            data: (usize, usize),
+            cas: Option<u64>,
         }
-        let key = toks[0].as_bytes().to_vec();
-        let nbytes: usize = toks[2]
-            .parse()
-            .map_err(|_| KvError::Protocol("bad VALUE byte count".into()))?;
-        let cas = if toks.len() >= 4 {
-            Some(
-                toks[3]
-                    .parse()
-                    .map_err(|_| KvError::Protocol("bad VALUE cas".into()))?,
-            )
-        } else {
-            None
+        let mut raw: Vec<RawItem> = Vec::new();
+        let mut pos = 0usize;
+        let frame_end = loop {
+            let rest = &buf[pos..];
+            let Some(le) = rest.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(ParseStep::More(2));
+            };
+            let l = &rest[..le];
+            let data_start = pos + le + 2;
+            if l == b"END" {
+                break data_start;
+            }
+            let Some(header) = l.strip_prefix(b"VALUE ") else {
+                return Err(KvError::Protocol("malformed VALUE framing".into()));
+            };
+            let text = String::from_utf8_lossy(header).into_owned();
+            let toks: Vec<&str> = text.split(' ').collect();
+            if toks.len() < 3 {
+                return Err(KvError::Protocol("malformed VALUE line".into()));
+            }
+            let key_start = pos + b"VALUE ".len();
+            let nbytes: usize = toks[2]
+                .parse()
+                .map_err(|_| KvError::Protocol("bad VALUE byte count".into()))?;
+            let cas = if toks.len() >= 4 {
+                Some(
+                    toks[3]
+                        .parse()
+                        .map_err(|_| KvError::Protocol("bad VALUE cas".into()))?,
+                )
+            } else {
+                None
+            };
+            let need = data_start + nbytes + 2; // data + CRLF
+            if buf.len() < need {
+                return Ok(ParseStep::More(need - buf.len()));
+            }
+            if &buf[data_start + nbytes..need] != b"\r\n" {
+                return Err(KvError::Protocol("malformed VALUE framing".into()));
+            }
+            raw.push(RawItem {
+                key: (key_start, key_start + toks[0].len()),
+                data: (data_start, data_start + nbytes),
+                cas,
+            });
+            pos = need;
         };
-        let need = consume_line + nbytes + 2 + 5; // data + CRLF + "END\r\n"
-        if buf.len() < need {
-            return Ok(None);
-        }
-        let value = Bytes::copy_from_slice(&buf[consume_line..consume_line + nbytes]);
-        if &buf[consume_line + nbytes..consume_line + nbytes + 2] != b"\r\n"
-            || &buf[consume_line + nbytes + 2..need] != b"END\r\n"
-        {
-            return Err(KvError::Protocol("malformed VALUE framing".into()));
-        }
-        buf.drain(..need);
-        return Ok(Some(Response::Value { key, value, cas }));
+        // Materialize the values. Small frames are copied out so the
+        // scratch buffer keeps its capacity; big (stripe-sized) frames
+        // hand the whole buffer over to a shared `Bytes` and every value
+        // becomes a zero-copy slice of it — halving the memory traffic
+        // that dominates multi-megabyte pipelined windows.
+        const ZERO_COPY_THRESHOLD: usize = 64 * 1024;
+        let payload: usize = raw.iter().map(|r| r.data.1 - r.data.0).sum();
+        let mut items: Vec<ValueItem> = if payload >= ZERO_COPY_THRESHOLD {
+            let mut frame_vec = std::mem::take(buf);
+            // Preserve any pipelined bytes beyond this frame.
+            buf.extend_from_slice(&frame_vec[frame_end..]);
+            frame_vec.truncate(frame_end);
+            let frame = Bytes::from(frame_vec);
+            raw.into_iter()
+                .map(|r| ValueItem {
+                    key: frame[r.key.0..r.key.1].to_vec(),
+                    value: frame.slice(r.data.0..r.data.1),
+                    cas: r.cas,
+                })
+                .collect()
+        } else {
+            let items = raw
+                .into_iter()
+                .map(|r| ValueItem {
+                    key: buf[r.key.0..r.key.1].to_vec(),
+                    value: Bytes::copy_from_slice(&buf[r.data.0..r.data.1]),
+                    cas: r.cas,
+                })
+                .collect();
+            buf.drain(..frame_end);
+            items
+        };
+        let resp = if items.len() == 1 {
+            let item = items.pop().expect("one item");
+            Response::Value {
+                key: item.key,
+                value: item.value,
+                cas: item.cas,
+            }
+        } else {
+            Response::Values(items)
+        };
+        return Ok(ParseStep::Done(resp));
     }
     Err(KvError::Protocol(format!(
         "unrecognized response line {:?}",
@@ -486,11 +874,77 @@ impl KvClient for TcpClient {
     }
 
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
-        match self.call(&Request::Get { key: key.to_vec() })? {
+        match self.call(&Request::Get {
+            keys: vec![key.to_vec()],
+        })? {
             Response::Value { value, .. } => Ok(value),
             Response::End => Err(KvError::NotFound),
             other => Err(response_error(other)),
         }
+    }
+
+    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pack keys into multi-key `get` lines (bounded by both key count
+        // and line length), pipelining the chunks on one connection.
+        let mut reqs: Vec<Request> = Vec::new();
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut line_len = "get".len();
+        for key in keys {
+            let full = chunk.len() >= self.config.max_batch_keys
+                || line_len + 1 + key.len() + 2 > MAX_LINE_LEN;
+            if full && !chunk.is_empty() {
+                reqs.push(Request::Get {
+                    keys: std::mem::take(&mut chunk),
+                });
+                line_len = "get".len();
+            }
+            line_len += 1 + key.len();
+            chunk.push(key.clone());
+        }
+        reqs.push(Request::Get { keys: chunk });
+        let mut hits: HashMap<Vec<u8>, Bytes> = HashMap::with_capacity(keys.len());
+        for resp in self.exchange(&reqs)? {
+            match resp {
+                Response::End => {}
+                Response::Value { key, value, .. } => {
+                    hits.insert(key, value);
+                }
+                Response::Values(items) => {
+                    for item in items {
+                        hits.insert(item.key, item.value);
+                    }
+                }
+                other => return Err(response_error(other)),
+            }
+        }
+        Ok(keys
+            .iter()
+            .map(|k| hits.get(k.as_slice()).cloned().ok_or(KvError::NotFound))
+            .collect())
+    }
+
+    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reqs: Vec<Request> = items
+            .iter()
+            .map(|(key, value)| Request::Set {
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect();
+        Ok(self
+            .exchange(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Stored => Ok(()),
+                other => Err(response_error(other)),
+            })
+            .collect())
     }
 
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
@@ -526,11 +980,7 @@ mod tests {
     use crate::store::StoreConfig;
 
     fn spawn_server() -> KvServer {
-        KvServer::spawn(
-            Arc::new(Store::new(StoreConfig::default())),
-            "127.0.0.1:0",
-        )
-        .unwrap()
+        KvServer::spawn(Arc::new(Store::new(StoreConfig::default())), "127.0.0.1:0").unwrap()
     }
 
     #[test]
@@ -659,5 +1109,145 @@ mod tests {
         let mut server = spawn_server();
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn tcp_multi_get_mixes_hits_and_misses() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.set(b"a", Bytes::from_static(b"1")).unwrap();
+        client.set(b"c", Bytes::from_static(b"3")).unwrap();
+        let out = client
+            .get_many(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .unwrap();
+        assert_eq!(out[0].as_ref().unwrap().as_ref(), b"1");
+        assert!(matches!(out[1], Err(KvError::NotFound)));
+        assert_eq!(out[2].as_ref().unwrap().as_ref(), b"3");
+        // The whole batch travelled as ONE multi-key get frame.
+        assert_eq!(server.store().stats().snapshot().mget_ops, 1);
+    }
+
+    #[test]
+    fn tcp_multi_get_all_misses_and_empty() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        assert!(client.get_many(&[]).unwrap().is_empty());
+        let out = client.get_many(&[b"x".to_vec(), b"y".to_vec()]).unwrap();
+        assert!(out.iter().all(|r| matches!(r, Err(KvError::NotFound))));
+    }
+
+    #[test]
+    fn tcp_multi_get_large_batch_chunks_frames() {
+        let server = spawn_server();
+        let client = TcpClient::connect_with(
+            server.addr(),
+            PoolConfig {
+                connections: 1,
+                max_batch_keys: 16,
+            },
+        )
+        .unwrap();
+        let keys: Vec<Vec<u8>> = (0..100).map(|i| format!("k{i}").into_bytes()).collect();
+        let items: Vec<(Vec<u8>, Bytes)> = keys
+            .iter()
+            .map(|k| {
+                (
+                    k.clone(),
+                    Bytes::from(format!("v-{}", String::from_utf8_lossy(k))),
+                )
+            })
+            .collect();
+        for r in client.set_many(&items).unwrap() {
+            r.unwrap();
+        }
+        let out = client.get_many(&keys).unwrap();
+        for (k, r) in keys.iter().zip(out) {
+            assert_eq!(
+                r.unwrap(),
+                Bytes::from(format!("v-{}", String::from_utf8_lossy(k)))
+            );
+        }
+        // 100 keys at 16 per frame = 7 pipelined multi-get batches.
+        assert_eq!(server.store().stats().snapshot().mget_ops, 7);
+    }
+
+    #[test]
+    fn tcp_set_many_pipelines_on_one_connection() {
+        let server = spawn_server();
+        let client = TcpClient::connect_with(
+            server.addr(),
+            PoolConfig {
+                connections: 1,
+                max_batch_keys: 64,
+            },
+        )
+        .unwrap();
+        let items: Vec<(Vec<u8>, Bytes)> = (0..50)
+            .map(|i| {
+                (
+                    format!("s{i}").into_bytes(),
+                    Bytes::from(vec![i as u8; 100]),
+                )
+            })
+            .collect();
+        let results = client.set_many(&items).unwrap();
+        assert_eq!(results.len(), 50);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(server.store().item_count(), 50);
+    }
+
+    #[test]
+    fn tcp_pool_shares_one_client_across_threads() {
+        let server = spawn_server();
+        let client = Arc::new(
+            TcpClient::connect_with(
+                server.addr(),
+                PoolConfig {
+                    connections: 4,
+                    max_batch_keys: 64,
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(client.pool_size(), 4);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("t{t}k{i}");
+                        client
+                            .set(key.as_bytes(), Bytes::from(format!("v{i}")))
+                            .unwrap();
+                        assert_eq!(
+                            client.get(key.as_bytes()).unwrap(),
+                            Bytes::from(format!("v{i}"))
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.store().item_count(), 400);
+    }
+
+    #[test]
+    fn tcp_gets_multi_returns_cas_per_value() {
+        let server = spawn_server();
+        let client = TcpClient::connect(server.addr()).unwrap();
+        client.set(b"a", Bytes::from_static(b"1")).unwrap();
+        client.set(b"b", Bytes::from_static(b"2")).unwrap();
+        let resp = client
+            .call(&Request::Gets {
+                keys: vec![b"a".to_vec(), b"b".to_vec()],
+            })
+            .unwrap();
+        let Response::Values(items) = resp else {
+            panic!("expected Values, got {resp:?}");
+        };
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().all(|i| i.cas.is_some()));
     }
 }

@@ -6,10 +6,17 @@
 //! ```text
 //! set/add/append <key> <flags> <exptime> <bytes>\r\n<data>\r\n
 //! cas <key> <flags> <exptime> <bytes> <cas>\r\n<data>\r\n
-//! get <key>\r\n            gets <key>\r\n
+//! get <key> [key ...]\r\n  gets <key> [key ...]\r\n
 //! delete <key>\r\n         flush_all\r\n
 //! stats\r\n                version\r\n       quit\r\n
 //! ```
+//!
+//! Multi-key `get` follows memcached semantics: the server answers with one
+//! `VALUE <key> <flags> <bytes>\r\n<data>\r\n` block per *hit*, in request
+//! order, then a single `END\r\n`. Misses are silently omitted — the client
+//! matches replies to keys by the echoed key, so a batch with misses still
+//! frames correctly. This is the transport primitive behind MemFS' batched
+//! prefetching: one request fetches a whole prefetch window from a server.
 //!
 //! Divergence from memcached: `flags` and `exptime` are parsed and accepted
 //! but not stored — MemFS always sends zeros, and a runtime file system has
@@ -25,13 +32,34 @@ use crate::stats::StatsSnapshot;
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    Set { key: Vec<u8>, value: Bytes },
-    Add { key: Vec<u8>, value: Bytes },
-    Append { key: Vec<u8>, value: Bytes },
-    Cas { key: Vec<u8>, value: Bytes, token: u64 },
-    Get { key: Vec<u8> },
-    Gets { key: Vec<u8> },
-    Delete { key: Vec<u8> },
+    Set {
+        key: Vec<u8>,
+        value: Bytes,
+    },
+    Add {
+        key: Vec<u8>,
+        value: Bytes,
+    },
+    Append {
+        key: Vec<u8>,
+        value: Bytes,
+    },
+    Cas {
+        key: Vec<u8>,
+        value: Bytes,
+        token: u64,
+    },
+    /// One or more keys; replies carry one `VALUE` block per hit.
+    Get {
+        keys: Vec<Vec<u8>>,
+    },
+    /// Like `Get` but replies include each value's CAS token.
+    Gets {
+        keys: Vec<Vec<u8>>,
+    },
+    Delete {
+        key: Vec<u8>,
+    },
     FlushAll,
     Stats,
     Version,
@@ -51,12 +79,19 @@ pub enum Response {
     NotFound,
     Deleted,
     Ok,
-    /// `VALUE` + `END` for `get`; `cas` is included for `gets`.
+    /// `VALUE` + `END` for a single-key `get`; `cas` is included for
+    /// `gets`.
     Value {
         key: Vec<u8>,
         value: Bytes,
         cas: Option<u64>,
     },
+    /// Two or more `VALUE` blocks before the `END` — a multi-key `get`
+    /// with several hits. (Zero hits is a bare [`Response::End`]; exactly
+    /// one hit parses as [`Response::Value`] — the wire format cannot
+    /// distinguish them, and callers that issued the batch reassemble
+    /// per-key results by the echoed keys.)
+    Values(Vec<ValueItem>),
     /// Bare `END` — `get` miss.
     End,
     Version(String),
@@ -67,6 +102,14 @@ pub enum Response {
     ClientError(String),
 }
 
+/// One `VALUE` block of a (multi-)get reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueItem {
+    pub key: Vec<u8>,
+    pub value: Bytes,
+    pub cas: Option<u64>,
+}
+
 /// Outcome of trying to parse one request from a buffer.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Parsed {
@@ -75,6 +118,9 @@ pub enum Parsed {
     /// The buffer does not yet hold a complete request.
     NeedMore,
 }
+
+/// Longest accepted command line (bytes before the first CRLF).
+pub const MAX_LINE_LEN: usize = 16 * 1024;
 
 fn find_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(2).position(|w| w == b"\r\n")
@@ -93,16 +139,23 @@ fn parse_u64(tok: &[u8]) -> KvResult<u64> {
 /// still incomplete; protocol violations yield [`KvError::Protocol`].
 pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
     let Some(line_end) = find_crlf(buf) else {
-        // Guard against unbounded garbage before the first CRLF.
-        if buf.len() > 4096 {
+        // Guard against unbounded garbage before the first CRLF. The limit
+        // leaves ample headroom for multi-key gets (a full prefetch window
+        // of stripe keys is well under 2 KiB).
+        if buf.len() > MAX_LINE_LEN {
             return Err(KvError::Protocol("command line too long".into()));
         }
         return Ok(Parsed::NeedMore);
     };
     let line = &buf[..line_end];
     let after_line = line_end + 2;
-    let toks: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
-    let verb = *toks.first().ok_or_else(|| KvError::Protocol("empty command".into()))?;
+    let toks: Vec<&[u8]> = line
+        .split(|&b| b == b' ')
+        .filter(|t| !t.is_empty())
+        .collect();
+    let verb = *toks
+        .first()
+        .ok_or_else(|| KvError::Protocol("empty command".into()))?;
     let args = &toks[1..];
 
     // Storage commands share the `<key> <flags> <exptime> <bytes> [cas]`
@@ -145,16 +198,14 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
             Ok(Parsed::Done(req, need))
         }
         b"get" | b"gets" => {
-            if args.len() != 1 {
-                return Err(KvError::Protocol(
-                    "get takes exactly one key (multi-key get not supported)".into(),
-                ));
+            if args.is_empty() {
+                return Err(KvError::Protocol("get takes at least one key".into()));
             }
-            let key = args[0].to_vec();
+            let keys: Vec<Vec<u8>> = args.iter().map(|k| k.to_vec()).collect();
             let req = if verb == b"get" {
-                Request::Get { key }
+                Request::Get { keys }
             } else {
-                Request::Gets { key }
+                Request::Gets { keys }
             };
             Ok(Parsed::Done(req, after_line))
         }
@@ -162,7 +213,12 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
             if args.len() != 1 {
                 return Err(KvError::Protocol("delete takes exactly one key".into()));
             }
-            Ok(Parsed::Done(Request::Delete { key: args[0].to_vec() }, after_line))
+            Ok(Parsed::Done(
+                Request::Delete {
+                    key: args[0].to_vec(),
+                },
+                after_line,
+            ))
         }
         b"flush_all" => Ok(Parsed::Done(Request::FlushAll, after_line)),
         b"keys" => Ok(Parsed::Done(Request::Keys, after_line)),
@@ -176,60 +232,125 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
     }
 }
 
-/// Encode a request for transmission (client side).
-pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut out = Vec::new();
-    let mut storage = |verb: &str, key: &[u8], value: &Bytes, cas: Option<u64>| {
+// ---------------------------------------------------------------------------
+// Encoding. Every encoder *appends* to a caller-supplied buffer so that
+// connections can reuse one scratch allocation across calls; the old
+// `encode_*` entry points remain as allocating wrappers.
+// ---------------------------------------------------------------------------
+
+fn write_decimal(out: &mut Vec<u8>, n: u64) {
+    let mut s = String::new();
+    let _ = write!(s, "{n}");
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a request's command *line* (including its CRLF) to `out`.
+///
+/// For storage verbs the data block is **not** appended; the payload is
+/// returned instead so transports can transmit it with a vectored write
+/// (header + value + CRLF) and skip copying stripe-sized values through
+/// the scratch buffer. `None` means the line is the whole frame.
+pub fn write_request_line<'r>(req: &'r Request, out: &mut Vec<u8>) -> Option<&'r Bytes> {
+    fn storage<'r>(
+        out: &mut Vec<u8>,
+        verb: &str,
+        key: &[u8],
+        value: &'r Bytes,
+        cas: Option<u64>,
+    ) -> Option<&'r Bytes> {
         out.extend_from_slice(verb.as_bytes());
         out.push(b' ');
         out.extend_from_slice(key);
-        match cas {
-            Some(t) => {
-                let mut s = String::new();
-                let _ = write!(s, " 0 0 {} {}\r\n", value.len(), t);
-                out.extend_from_slice(s.as_bytes());
-            }
-            None => {
-                let mut s = String::new();
-                let _ = write!(s, " 0 0 {}\r\n", value.len());
-                out.extend_from_slice(s.as_bytes());
-            }
+        out.extend_from_slice(b" 0 0 ");
+        write_decimal(out, value.len() as u64);
+        if let Some(t) = cas {
+            out.push(b' ');
+            write_decimal(out, t);
         }
-        out.extend_from_slice(value);
         out.extend_from_slice(b"\r\n");
-    };
-    match req {
-        Request::Set { key, value } => storage("set", key, value, None),
-        Request::Add { key, value } => storage("add", key, value, None),
-        Request::Append { key, value } => storage("append", key, value, None),
-        Request::Cas { key, value, token } => storage("cas", key, value, Some(*token)),
-        Request::Get { key } => {
-            out.extend_from_slice(b"get ");
+        Some(value)
+    }
+    fn multi_key(out: &mut Vec<u8>, verb: &[u8], keys: &[Vec<u8>]) {
+        out.extend_from_slice(verb);
+        for key in keys {
+            out.push(b' ');
             out.extend_from_slice(key);
-            out.extend_from_slice(b"\r\n");
         }
-        Request::Gets { key } => {
-            out.extend_from_slice(b"gets ");
-            out.extend_from_slice(key);
-            out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(b"\r\n");
+    }
+    match req {
+        Request::Set { key, value } => storage(out, "set", key, value, None),
+        Request::Add { key, value } => storage(out, "add", key, value, None),
+        Request::Append { key, value } => storage(out, "append", key, value, None),
+        Request::Cas { key, value, token } => storage(out, "cas", key, value, Some(*token)),
+        Request::Get { keys } => {
+            multi_key(out, b"get", keys);
+            None
+        }
+        Request::Gets { keys } => {
+            multi_key(out, b"gets", keys);
+            None
         }
         Request::Delete { key } => {
             out.extend_from_slice(b"delete ");
             out.extend_from_slice(key);
             out.extend_from_slice(b"\r\n");
+            None
         }
-        Request::FlushAll => out.extend_from_slice(b"flush_all\r\n"),
-        Request::Keys => out.extend_from_slice(b"keys\r\n"),
-        Request::Stats => out.extend_from_slice(b"stats\r\n"),
-        Request::Version => out.extend_from_slice(b"version\r\n"),
-        Request::Quit => out.extend_from_slice(b"quit\r\n"),
+        Request::FlushAll => {
+            out.extend_from_slice(b"flush_all\r\n");
+            None
+        }
+        Request::Keys => {
+            out.extend_from_slice(b"keys\r\n");
+            None
+        }
+        Request::Stats => {
+            out.extend_from_slice(b"stats\r\n");
+            None
+        }
+        Request::Version => {
+            out.extend_from_slice(b"version\r\n");
+            None
+        }
+        Request::Quit => {
+            out.extend_from_slice(b"quit\r\n");
+            None
+        }
     }
+}
+
+/// Append a full request frame (line plus any data block) to `out`.
+pub fn write_request(req: &Request, out: &mut Vec<u8>) {
+    if let Some(value) = write_request_line(req, out) {
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+/// Encode a request into a fresh buffer (client side).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_request(req, &mut out);
     out
 }
 
-/// Encode a response for transmission (server side).
-pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Append a `VALUE <key> 0 <bytes> [cas]\r\n` header to `out`. The caller
+/// follows it with the value bytes, a CRLF, and eventually `END\r\n`.
+pub fn write_value_header(out: &mut Vec<u8>, key: &[u8], len: usize, cas: Option<u64>) {
+    out.extend_from_slice(b"VALUE ");
+    out.extend_from_slice(key);
+    out.extend_from_slice(b" 0 ");
+    write_decimal(out, len as u64);
+    if let Some(t) = cas {
+        out.push(b' ');
+        write_decimal(out, t);
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append a full response frame to `out`.
+pub fn write_response(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Stored => out.extend_from_slice(b"STORED\r\n"),
         Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
@@ -239,20 +360,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Ok => out.extend_from_slice(b"OK\r\n"),
         Response::End => out.extend_from_slice(b"END\r\n"),
         Response::Value { key, value, cas } => {
-            out.extend_from_slice(b"VALUE ");
-            out.extend_from_slice(key);
-            let mut s = String::new();
-            match cas {
-                Some(t) => {
-                    let _ = write!(s, " 0 {} {}\r\n", value.len(), t);
-                }
-                None => {
-                    let _ = write!(s, " 0 {}\r\n", value.len());
-                }
-            }
-            out.extend_from_slice(s.as_bytes());
+            write_value_header(out, key, value.len(), *cas);
             out.extend_from_slice(value);
             out.extend_from_slice(b"\r\nEND\r\n");
+        }
+        Response::Values(items) => {
+            for item in items {
+                write_value_header(out, &item.key, item.value.len(), item.cas);
+                out.extend_from_slice(&item.value);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
         }
         Response::Version(v) => {
             out.extend_from_slice(b"VERSION ");
@@ -261,9 +379,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Stats(pairs) => {
             for (k, v) in pairs {
-                let mut s = String::new();
-                let _ = write!(s, "STAT {k} {v}\r\n");
-                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"STAT ");
+                out.extend_from_slice(k.as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(v.as_bytes());
+                out.extend_from_slice(b"\r\n");
             }
             out.extend_from_slice(b"END\r\n");
         }
@@ -286,6 +406,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(b"\r\n");
         }
     }
+}
+
+/// Encode a response into a fresh buffer (server side).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_response(resp, &mut out);
     out
 }
 
@@ -294,12 +420,19 @@ pub fn stats_pairs(snap: &StatsSnapshot) -> Vec<(String, String)> {
     vec![
         ("cmd_get".into(), snap.get_ops.to_string()),
         ("get_hits".into(), snap.get_hits.to_string()),
-        ("get_misses".into(), (snap.get_ops - snap.get_hits).to_string()),
+        (
+            "get_misses".into(),
+            (snap.get_ops - snap.get_hits).to_string(),
+        ),
+        ("cmd_mget".into(), snap.mget_ops.to_string()),
         ("cmd_set".into(), snap.set_ops.to_string()),
         ("cmd_add".into(), snap.add_ops.to_string()),
         ("cmd_append".into(), snap.append_ops.to_string()),
         ("cmd_delete".into(), snap.delete_ops.to_string()),
-        ("cas_hits".into(), (snap.cas_ops - snap.cas_misses).to_string()),
+        (
+            "cas_hits".into(),
+            (snap.cas_ops - snap.cas_misses).to_string(),
+        ),
         ("cas_misses".into(), snap.cas_misses.to_string()),
         ("evictions".into(), snap.evictions.to_string()),
         ("bytes".into(), snap.bytes_used.to_string()),
@@ -348,8 +481,18 @@ mod tests {
                 value: Bytes::from_static(b"v2"),
                 token: 42,
             },
-            Request::Get { key: b"k".to_vec() },
-            Request::Gets { key: b"k".to_vec() },
+            Request::Get {
+                keys: vec![b"k".to_vec()],
+            },
+            Request::Get {
+                keys: vec![b"k1".to_vec(), b"k2".to_vec(), b"k3".to_vec()],
+            },
+            Request::Gets {
+                keys: vec![b"k".to_vec()],
+            },
+            Request::Gets {
+                keys: vec![b"a".to_vec(), b"b".to_vec()],
+            },
             Request::Delete { key: b"k".to_vec() },
             Request::FlushAll,
             Request::Keys,
@@ -368,9 +511,15 @@ mod tests {
     #[test]
     fn incomplete_command_needs_more() {
         assert_eq!(parse_request(b"set k 0 0 5").unwrap(), Parsed::NeedMore);
-        assert_eq!(parse_request(b"set k 0 0 5\r\nhel").unwrap(), Parsed::NeedMore);
+        assert_eq!(
+            parse_request(b"set k 0 0 5\r\nhel").unwrap(),
+            Parsed::NeedMore
+        );
         // Data present but missing trailing CRLF.
-        assert_eq!(parse_request(b"set k 0 0 5\r\nhello").unwrap(), Parsed::NeedMore);
+        assert_eq!(
+            parse_request(b"set k 0 0 5\r\nhello").unwrap(),
+            Parsed::NeedMore
+        );
     }
 
     #[test]
@@ -379,11 +528,18 @@ mod tests {
             key: b"a".to_vec(),
             value: Bytes::from_static(b"1"),
         });
-        wire.extend(encode_request(&Request::Get { key: b"a".to_vec() }));
+        wire.extend(encode_request(&Request::Get {
+            keys: vec![b"a".to_vec()],
+        }));
         let (r1, n1) = done(&wire);
         assert!(matches!(r1, Request::Set { .. }));
         let (r2, _) = done(&wire[n1..]);
-        assert_eq!(r2, Request::Get { key: b"a".to_vec() });
+        assert_eq!(
+            r2,
+            Request::Get {
+                keys: vec![b"a".to_vec()]
+            }
+        );
     }
 
     #[test]
@@ -411,8 +567,64 @@ mod tests {
 
     #[test]
     fn oversized_garbage_line_rejected() {
-        let garbage = vec![b'x'; 5000];
+        let garbage = vec![b'x'; MAX_LINE_LEN + 1];
         assert!(parse_request(&garbage).is_err());
+    }
+
+    #[test]
+    fn multi_key_get_parses_and_encodes() {
+        let (req, n) = done(b"get s:/f#0 s:/f#1 s:/f#2\r\n");
+        assert_eq!(
+            req,
+            Request::Get {
+                keys: vec![b"s:/f#0".to_vec(), b"s:/f#1".to_vec(), b"s:/f#2".to_vec()],
+            }
+        );
+        assert_eq!(n, 26);
+        assert_eq!(
+            encode_request(&req),
+            b"get s:/f#0 s:/f#1 s:/f#2\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn values_response_encodes_value_blocks_then_end() {
+        let resp = Response::Values(vec![
+            ValueItem {
+                key: b"a".to_vec(),
+                value: Bytes::from_static(b"xx"),
+                cas: None,
+            },
+            ValueItem {
+                key: b"b".to_vec(),
+                value: Bytes::from_static(b"yyy"),
+                cas: Some(9),
+            },
+        ]);
+        assert_eq!(
+            encode_response(&resp),
+            b"VALUE a 0 2\r\nxx\r\nVALUE b 0 3 9\r\nyyy\r\nEND\r\n".to_vec()
+        );
+        // Zero hits collapse onto the same wire bytes as a plain miss.
+        assert_eq!(
+            encode_response(&Response::Values(vec![])),
+            b"END\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn write_request_reuses_caller_buffer() {
+        let mut scratch = Vec::with_capacity(64);
+        scratch.extend_from_slice(b"junk-from-last-call");
+        scratch.clear();
+        let req = Request::Set {
+            key: b"k".to_vec(),
+            value: Bytes::from_static(b"hello"),
+        };
+        let payload = write_request_line(&req, &mut scratch);
+        assert_eq!(scratch, b"set k 0 0 5\r\n".to_vec());
+        assert_eq!(payload.map(|b| &b[..]), Some(&b"hello"[..]));
+        assert_eq!(encode_request(&req), b"set k 0 0 5\r\nhello\r\n".to_vec());
     }
 
     #[test]

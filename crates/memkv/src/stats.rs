@@ -12,6 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct StoreStats {
     pub(crate) get_ops: AtomicU64,
     pub(crate) get_hits: AtomicU64,
+    /// Batched multi-get *requests* (each also bumps `get_ops` once per
+    /// key, so `get_misses = get_ops - get_hits` stays well-defined).
+    pub(crate) mget_ops: AtomicU64,
     pub(crate) set_ops: AtomicU64,
     pub(crate) add_ops: AtomicU64,
     pub(crate) append_ops: AtomicU64,
@@ -30,6 +33,8 @@ pub struct StoreStats {
 pub struct StatsSnapshot {
     pub get_ops: u64,
     pub get_hits: u64,
+    /// Batched multi-get requests served (one per `get k1 k2 …` frame).
+    pub mget_ops: u64,
     pub set_ops: u64,
     pub add_ops: u64,
     pub append_ops: u64,
@@ -49,6 +54,7 @@ impl StoreStats {
         StatsSnapshot {
             get_ops: self.get_ops.load(Ordering::Relaxed),
             get_hits: self.get_hits.load(Ordering::Relaxed),
+            mget_ops: self.mget_ops.load(Ordering::Relaxed),
             set_ops: self.set_ops.load(Ordering::Relaxed),
             add_ops: self.add_ops.load(Ordering::Relaxed),
             append_ops: self.append_ops.load(Ordering::Relaxed),

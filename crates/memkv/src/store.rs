@@ -51,8 +51,8 @@ pub struct StoreConfig {
 impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
-            memory_budget: 4 << 30,       // 4 GiB
-            max_value_size: 128 << 20,    // 128 MiB, the paper's figure
+            memory_budget: 4 << 30,    // 4 GiB
+            max_value_size: 128 << 20, // 128 MiB, the paper's figure
             eviction: EvictionPolicy::Error,
             shards: 16,
         }
@@ -96,7 +96,9 @@ impl Store {
     /// Panics if `shards == 0`.
     pub fn new(config: StoreConfig) -> Self {
         assert!(config.shards > 0, "store needs at least one shard");
-        let shards = (0..config.shards).map(|_| RwLock::new(Shard::default())).collect();
+        let shards = (0..config.shards)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect();
         Store {
             config,
             shards,
@@ -338,6 +340,18 @@ impl Store {
         }
     }
 
+    /// Fetch several keys in one call (the engine behind multi-key `get`).
+    ///
+    /// Per-key counters are maintained exactly as if each key had been
+    /// fetched individually — `get_ops` and `get_hits` advance per key —
+    /// while `mget_ops` counts the batch itself, which is what makes
+    /// "one batched request per server per prefetch window" observable
+    /// from server stats.
+    pub fn get_many(&self, keys: &[Vec<u8>]) -> Vec<KvResult<Bytes>> {
+        StoreStats::bump(&self.stats.mget_ops);
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
     /// Fetch value and CAS token together (`gets` in the wire protocol).
     pub fn gets(&self, key: &[u8]) -> KvResult<(Bytes, u64)> {
         Self::validate_key(key)?;
@@ -511,6 +525,23 @@ mod tests {
     }
 
     #[test]
+    fn get_many_mixes_hits_and_misses() {
+        let s = Store::with_defaults();
+        s.set(b"a", Bytes::from_static(b"1")).unwrap();
+        s.set(b"c", Bytes::from_static(b"3")).unwrap();
+        let keys = vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()];
+        let out = s.get_many(&keys);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().unwrap().as_ref(), b"1");
+        assert!(matches!(out[1], Err(KvError::NotFound)));
+        assert_eq!(out[2].as_ref().unwrap().as_ref(), b"3");
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.mget_ops, 1);
+        assert_eq!(snap.get_ops, 3, "batch still counts per-key get_ops");
+        assert_eq!(snap.get_hits, 2);
+    }
+
+    #[test]
     fn set_replaces_and_accounts_memory() {
         let s = Store::with_defaults();
         s.set(b"k", Bytes::from(vec![0u8; 100])).unwrap();
@@ -524,7 +555,10 @@ mod tests {
     fn add_fails_on_existing_key() {
         let s = Store::with_defaults();
         s.add(b"k", Bytes::from_static(b"v1")).unwrap();
-        assert!(matches!(s.add(b"k", Bytes::from_static(b"v2")), Err(KvError::Exists)));
+        assert!(matches!(
+            s.add(b"k", Bytes::from_static(b"v2")),
+            Err(KvError::Exists)
+        ));
         assert_eq!(s.get(b"k").unwrap().as_ref(), b"v1");
     }
 
@@ -574,7 +608,10 @@ mod tests {
     fn value_size_limit_enforced() {
         let s = small_store(1 << 20, EvictionPolicy::Error);
         let big = Bytes::from(vec![0u8; 2000]);
-        assert!(matches!(s.set(b"k", big), Err(KvError::ValueTooLarge { .. })));
+        assert!(matches!(
+            s.set(b"k", big),
+            Err(KvError::ValueTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -593,10 +630,19 @@ mod tests {
     fn key_validation() {
         let s = Store::with_defaults();
         let long = vec![b'a'; 251];
-        assert!(matches!(s.set(&long, Bytes::new()), Err(KvError::KeyTooLong(251))));
-        assert!(matches!(s.set(b"has space", Bytes::new()), Err(KvError::BadKey)));
+        assert!(matches!(
+            s.set(&long, Bytes::new()),
+            Err(KvError::KeyTooLong(251))
+        ));
+        assert!(matches!(
+            s.set(b"has space", Bytes::new()),
+            Err(KvError::BadKey)
+        ));
         assert!(matches!(s.set(b"", Bytes::new()), Err(KvError::BadKey)));
-        assert!(matches!(s.set(b"ctl\x01", Bytes::new()), Err(KvError::BadKey)));
+        assert!(matches!(
+            s.set(b"ctl\x01", Bytes::new()),
+            Err(KvError::BadKey)
+        ));
     }
 
     #[test]

@@ -64,7 +64,7 @@ proptest! {
         v in value_strategy(),
     ) {
         let r1 = Request::Set { key: k1, value: Bytes::from(v) };
-        let r2 = Request::Get { key: k2 };
+        let r2 = Request::Get { keys: vec![k2] };
         let mut wire = encode_request(&r1);
         wire.extend(encode_request(&r2));
         let Parsed::Done(p1, n1) = parse_request(&wire).unwrap() else {

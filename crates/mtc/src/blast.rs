@@ -115,8 +115,7 @@ pub fn blast(
     // blastall: `queries_per_fragment` tasks per fragment, each reading
     // the formatted fragment plus one query batch — the two-input-file
     // pattern that breaks AMFS' one-file locality guarantee.
-    let result_bytes =
-        RESULT_TOTAL_BYTES / (n_fragments as u64 * queries_per_fragment as u64);
+    let result_bytes = RESULT_TOTAL_BYTES / (n_fragments as u64 * queries_per_fragment as u64);
     let mut results_by_merge: Vec<Vec<FileId>> = vec![Vec::new(); N_MERGE];
     for (r, &fmt) in formatted.iter().enumerate() {
         let k = frags_in(r);

@@ -120,7 +120,12 @@ mod tests {
 
     #[test]
     fn efficiencies_are_fractions() {
-        for e in [A2A_WRITE_EFF, A2A_READ_EFF, A2A_READ_EFF_LARGE, AMFS_REMOTE_BW_FRACTION] {
+        for e in [
+            A2A_WRITE_EFF,
+            A2A_READ_EFF,
+            A2A_READ_EFF_LARGE,
+            AMFS_REMOTE_BW_FRACTION,
+        ] {
             assert!(e > 0.0 && e <= 1.0);
         }
         assert!(A2A_READ_EFF_LARGE < A2A_READ_EFF);

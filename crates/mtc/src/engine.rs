@@ -359,9 +359,8 @@ impl WorkflowSim {
                     Phase::Read => {
                         run.phase = Phase::Compute;
                         run.pending = 1;
-                        let dur = SimDuration::from_secs_f64(
-                            calibrate::TASK_SPAWN_SECS + task.cpu_secs,
-                        );
+                        let dur =
+                            SimDuration::from_secs_f64(calibrate::TASK_SPAWN_SECS + task.cpu_secs);
                         queue.push(now + dur, Ev::ComputeDone(ti));
                     }
                     Phase::Compute => {
@@ -389,8 +388,7 @@ impl WorkflowSim {
                             &mut flow_owner,
                             &mut mount_owner,
                         );
-                        stages.get_mut(&task.stage).expect("stage").bytes +=
-                            plan.network_bytes();
+                        stages.get_mut(&task.stage).expect("stage").bytes += plan.network_bytes();
                         let run = running.get_mut(&ti).expect("still running");
                         run.phase = Phase::Write;
                         run.pending = pending;
@@ -523,12 +521,7 @@ impl WorkflowSim {
 impl IoPlan {
     /// Bytes this plan moves over the network (striped + pairwise).
     pub fn network_bytes(&self) -> f64 {
-        self.striped_bytes as f64
-            + self
-                .pairwise_in
-                .iter()
-                .map(|&(_, b)| b as f64)
-                .sum::<f64>()
+        self.striped_bytes as f64 + self.pairwise_in.iter().map(|&(_, b)| b as f64).sum::<f64>()
     }
 }
 
@@ -607,7 +600,12 @@ mod tests {
         let mut wf = Workflow::new("imbalance");
         let mut outs = Vec::new();
         for i in 0..16 {
-            let t = wf.add_task("produce", Vec::new(), vec![(format!("/big{i}"), 64 * MB)], 0.1);
+            let t = wf.add_task(
+                "produce",
+                Vec::new(),
+                vec![(format!("/big{i}"), 64 * MB)],
+                0.1,
+            );
             outs.push(wf.tasks[t.0].outputs[0]);
         }
         wf.add_task("aggregate", outs, vec![("/sum".into(), MB)], 0.1);
@@ -658,7 +656,10 @@ mod tests {
         .run(&wf);
         assert!(amfs.failed.is_some(), "AMFS should OOM");
         let msg = amfs.failed.unwrap();
-        assert!(msg.contains("out of memory") || msg.contains("failed"), "{msg}");
+        assert!(
+            msg.contains("out of memory") || msg.contains("failed"),
+            "{msg}"
+        );
 
         let memfs = WorkflowSim {
             deployment,

@@ -148,7 +148,13 @@ pub fn render_metadata(rows: &[MetadataRow]) -> String {
         })
         .collect();
     out.push_str(&report::table(
-        &["Nodes", "MemFS Create", "AMFS Create", "MemFS Open", "AMFS Open"],
+        &[
+            "Nodes",
+            "MemFS Create",
+            "AMFS Create",
+            "MemFS Open",
+            "AMFS Open",
+        ],
         &table_rows,
     ));
     out
@@ -255,7 +261,13 @@ pub fn render_table1(t: &Table1) -> String {
         })
         .collect();
     out.push_str(&report::table(
-        &["Metric", "AMFS IPoIB", "MemFS IPoIB", "AMFS 1GbE", "MemFS 1GbE"],
+        &[
+            "Metric",
+            "AMFS IPoIB",
+            "MemFS IPoIB",
+            "AMFS 1GbE",
+            "MemFS 1GbE",
+        ],
         &rows,
     ));
     out
@@ -301,9 +313,8 @@ pub fn run_fig16() -> Vec<Fig16Row> {
 
 /// Render Figure 16.
 pub fn render_fig16(rows: &[Fig16Row]) -> String {
-    let mut out = String::from(
-        "MemFS bandwidth microbenchmark (4KB blocks): per-node MB/s vs cores\n",
-    );
+    let mut out =
+        String::from("MemFS bandwidth microbenchmark (4KB blocks): per-node MB/s vs cores\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -54,8 +54,7 @@ fn shaped_servers(n: usize, shaping: Shaping) -> Vec<Arc<dyn KvClient>> {
     (0..n)
         .map(|_| {
             let store = Arc::new(Store::new(StoreConfig::default()));
-            Arc::new(ThrottledClient::new(LocalClient::new(store), shaping))
-                as Arc<dyn KvClient>
+            Arc::new(ThrottledClient::new(LocalClient::new(store), shaping)) as Arc<dyn KvClient>
         })
         .collect()
 }
@@ -130,8 +129,7 @@ pub fn run_fig3b(file_bytes: usize, shaping: Shaping) -> Vec<Fig3bRow> {
                 prefetch_window: 8,
                 ..MemFsConfig::default()
             };
-            let (write_bw, read_bw) =
-                measure(base.clone(), shaped_servers(4, shaping), file_bytes);
+            let (write_bw, read_bw) = measure(base.clone(), shaped_servers(4, shaping), file_bytes);
 
             // No buffering: the write buffer holds a single stripe, so
             // each stripe is stored synchronously before the next fills.
@@ -188,7 +186,13 @@ pub fn render_fig3b(rows: &[Fig3bRow]) -> String {
         })
         .collect();
     out.push_str(&report::table(
-        &["Threads", "Write", "Write (no buf)", "Read", "Read (no prefetch)"],
+        &[
+            "Threads",
+            "Write",
+            "Write (no buf)",
+            "Read",
+            "Read (no prefetch)",
+        ],
         &table_rows,
     ));
     out

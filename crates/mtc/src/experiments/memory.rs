@@ -103,7 +103,10 @@ pub fn render_fig9(rows: &[MemoryRow]) -> String {
             ]
         })
         .collect();
-    out.push_str(&report::table(&["Scale", "System", "Aggregate peak"], &table_rows));
+    out.push_str(&report::table(
+        &["Scale", "System", "Aggregate peak"],
+        &table_rows,
+    ));
     out
 }
 

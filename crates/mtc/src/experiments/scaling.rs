@@ -103,7 +103,13 @@ pub fn run_fig7() -> Vec<ScalingRow> {
     let wf12 = montage(12, bundle_for(512));
     for cores in [2usize, 4, 8] {
         let d = Deployment::full(ClusterSpec::das4_ipoib(64)).with_cores_per_node(cores);
-        rows.extend(run_config("fig7b", &wf12, d, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig7b",
+            &wf12,
+            d,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     // 7c: BLAST, MemFS vs AMFS.
     let wfb = blast_das4(bundle_for(512));
@@ -135,7 +141,13 @@ pub fn run_fig8() -> Vec<ScalingRow> {
     let wf12 = montage(12, bundle_for(512));
     for nodes in [16usize, 32, 64] {
         let d = Deployment::full(ClusterSpec::das4_ipoib(nodes));
-        rows.extend(run_config("fig8b", &wf12, d, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig8b",
+            &wf12,
+            d,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     let wfb = blast_das4(bundle_for(512));
     for nodes in [8usize, 16, 32, 64] {
@@ -156,9 +168,21 @@ pub fn run_fig10() -> Vec<ScalingRow> {
         let single = Deployment::full(ClusterSpec::ec2(4))
             .with_cores_per_node(cores)
             .with_single_mount();
-        rows.extend(run_config("fig10a", &wf, single, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig10a",
+            &wf,
+            single,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
         let per_proc = Deployment::full(ClusterSpec::ec2(4)).with_cores_per_node(cores);
-        rows.extend(run_config("fig10b", &wf, per_proc, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig10b",
+            &wf,
+            per_proc,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     rows
 }
@@ -171,13 +195,25 @@ pub fn run_fig11() -> Vec<ScalingRow> {
     let wf = montage(6, bundle_for(128));
     for cores in [4usize, 8, 16, 32] {
         let d = Deployment::full(ClusterSpec::ec2(4)).with_cores_per_node(cores);
-        rows.extend(run_config("fig11", &wf, d, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig11",
+            &wf,
+            d,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     for cores in [4usize, 8] {
         let d = Deployment::full(ClusterSpec::ec2(4))
             .with_cores_per_node(cores)
             .with_single_mount();
-        rows.extend(run_config("fig11", &wf, d, FsModelKind::Amfs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig11",
+            &wf,
+            d,
+            FsModelKind::Amfs,
+            &MONTAGE_STAGES,
+        ));
     }
     rows
 }
@@ -189,12 +225,24 @@ pub fn run_fig12_13() -> Vec<ScalingRow> {
     let wf16 = montage(16, bundle_for(1024));
     for cores in [4usize, 8, 16, 32] {
         let d = Deployment::full(ClusterSpec::ec2(32)).with_cores_per_node(cores);
-        rows.extend(run_config("fig12", &wf16, d, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig12",
+            &wf16,
+            d,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     let wfb = blast_ec2(bundle_for(1024));
     for cores in [4usize, 8, 16, 32] {
         let d = Deployment::full(ClusterSpec::ec2(32)).with_cores_per_node(cores);
-        rows.extend(run_config("fig13", &wfb, d, FsModelKind::MemFs, &BLAST_STAGES));
+        rows.extend(run_config(
+            "fig13",
+            &wfb,
+            d,
+            FsModelKind::MemFs,
+            &BLAST_STAGES,
+        ));
     }
     rows
 }
@@ -206,12 +254,24 @@ pub fn run_fig14_15() -> Vec<ScalingRow> {
     let wf12 = montage(12, bundle_for(1024));
     for nodes in [8usize, 16, 32] {
         let d = Deployment::full(ClusterSpec::ec2(nodes));
-        rows.extend(run_config("fig14", &wf12, d, FsModelKind::MemFs, &MONTAGE_STAGES));
+        rows.extend(run_config(
+            "fig14",
+            &wf12,
+            d,
+            FsModelKind::MemFs,
+            &MONTAGE_STAGES,
+        ));
     }
     let wfb = blast_ec2(bundle_for(1024));
     for nodes in [8usize, 16, 32] {
         let d = Deployment::full(ClusterSpec::ec2(nodes));
-        rows.extend(run_config("fig15", &wfb, d, FsModelKind::MemFs, &BLAST_STAGES));
+        rows.extend(run_config(
+            "fig15",
+            &wfb,
+            d,
+            FsModelKind::MemFs,
+            &BLAST_STAGES,
+        ));
     }
     rows
 }

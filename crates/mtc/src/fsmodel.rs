@@ -303,12 +303,7 @@ mod tests {
         let mut wf = Workflow::new("t");
         let a = wf.add_input("/a", 1000);
         let b = wf.add_input("/b", 500);
-        wf.add_task(
-            "s",
-            vec![a, b],
-            vec![("/out".into(), 2000)],
-            1.0,
-        );
+        wf.add_task("s", vec![a, b], vec![("/out".into(), 2000)], 1.0);
         let deployment = Deployment::full(ClusterSpec::das4_ipoib(n_nodes));
         let model = FsModel::new(kind, &deployment, &wf);
         (model, wf, deployment)

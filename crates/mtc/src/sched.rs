@@ -116,7 +116,9 @@ mod tests {
         let b = wf.add_input("/b", 100);
         wf.add_task("s", vec![a, b], vec![("/o".into(), 10)], 1.0);
         // An aggregation task with many inputs.
-        let many: Vec<_> = (0..40).map(|i| wf.add_input(format!("/m{i}"), 10)).collect();
+        let many: Vec<_> = (0..40)
+            .map(|i| wf.add_input(format!("/m{i}"), 10))
+            .collect();
         wf.add_task("agg", many, vec![("/agg".into(), 10)], 1.0);
         let deployment = Deployment::full(ClusterSpec::das4_ipoib(4));
         let mut fs = FsModel::new(FsModelKind::Amfs, &deployment, &wf);
@@ -127,9 +129,21 @@ mod tests {
     #[test]
     fn uniform_picks_least_loaded() {
         let (wf, fs) = fixture();
-        let p = place_task(SchedulerKind::Uniform, &wf.tasks[0], &wf, &fs, &[1, 3, 2, 3]);
+        let p = place_task(
+            SchedulerKind::Uniform,
+            &wf.tasks[0],
+            &wf,
+            &fs,
+            &[1, 3, 2, 3],
+        );
         assert_eq!(p, Placement::Node(1)); // most free slots, lowest id on tie
-        let p = place_task(SchedulerKind::Uniform, &wf.tasks[0], &wf, &fs, &[0, 0, 0, 0]);
+        let p = place_task(
+            SchedulerKind::Uniform,
+            &wf.tasks[0],
+            &wf,
+            &fs,
+            &[0, 0, 0, 0],
+        );
         assert_eq!(p, Placement::Queue);
     }
 
@@ -195,7 +209,13 @@ mod tests {
     #[test]
     fn uniform_ignores_aggregation_pinning() {
         let (wf, fs) = fixture();
-        let p = place_task(SchedulerKind::Uniform, &wf.tasks[1], &wf, &fs, &[0, 8, 8, 8]);
+        let p = place_task(
+            SchedulerKind::Uniform,
+            &wf.tasks[1],
+            &wf,
+            &fs,
+            &[0, 8, 8, 8],
+        );
         assert_eq!(p, Placement::Node(1));
     }
 }

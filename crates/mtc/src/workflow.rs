@@ -183,7 +183,11 @@ impl Workflow {
             }
             let entry = map.get_mut(task.stage.as_str()).expect("just inserted");
             entry.tasks += 1;
-            entry.bytes_read += task.inputs.iter().map(|&f| self.files[f.0].size).sum::<u64>();
+            entry.bytes_read += task
+                .inputs
+                .iter()
+                .map(|&f| self.files[f.0].size)
+                .sum::<u64>();
             entry.bytes_written += task
                 .outputs
                 .iter()
@@ -229,7 +233,12 @@ mod tests {
     fn diamond() -> Workflow {
         let mut wf = Workflow::new("diamond");
         let input = wf.add_input("/in", 100);
-        let a = wf.add_task("split", vec![input], vec![("/a".into(), 50), ("/b".into(), 50)], 1.0);
+        let a = wf.add_task(
+            "split",
+            vec![input],
+            vec![("/a".into(), 50), ("/b".into(), 50)],
+            1.0,
+        );
         let fa = wf.tasks[a.0].outputs[0];
         let fb = wf.tasks[a.0].outputs[1];
         let b = wf.add_task("work", vec![fa], vec![("/a2".into(), 25)], 2.0);

@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn capacities_layout() {
         let f = Fabric::new(2, 100.0, 1000.0);
-        assert_eq!(f.capacities(), vec![100.0, 100.0, 1000.0, 100.0, 100.0, 1000.0]);
+        assert_eq!(
+            f.capacities(),
+            vec![100.0, 100.0, 1000.0, 100.0, 100.0, 1000.0]
+        );
         let f = f.with_core_capacity(150.0);
         assert_eq!(f.capacities().len(), 7);
         assert_eq!(f.capacities()[6], 150.0);

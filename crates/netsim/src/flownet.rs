@@ -126,12 +126,7 @@ impl FlowNet {
     ///
     /// # Panics
     /// Panics on an empty route or unknown constraint ids.
-    pub fn start_flow_route(
-        &mut self,
-        now: SimTime,
-        route: Vec<usize>,
-        bytes: u64,
-    ) -> FlowId {
+    pub fn start_flow_route(&mut self, now: SimTime, route: Vec<usize>, bytes: u64) -> FlowId {
         assert!(!route.is_empty(), "flow needs at least one constraint");
         let n_constraints = self.fabric.capacities().len();
         assert!(
@@ -215,7 +210,9 @@ impl FlowNet {
         let due: Vec<FlowId> = self
             .flows
             .iter()
-            .filter(|(_, f)| matches!(f.phase, Phase::Pending { activate_at } if activate_at <= now))
+            .filter(
+                |(_, f)| matches!(f.phase, Phase::Pending { activate_at } if activate_at <= now),
+            )
             .map(|(&id, _)| id)
             .collect();
 

@@ -24,7 +24,10 @@ pub type ConstraintId = usize;
 /// Panics if a flow has no constraints or a capacity is not positive.
 pub fn maxmin_rates(caps: &[f64], flow_constraints: &[Vec<ConstraintId>]) -> Vec<f64> {
     for (c, &cap) in caps.iter().enumerate() {
-        assert!(cap > 0.0 && cap.is_finite(), "constraint {c} has invalid capacity {cap}");
+        assert!(
+            cap > 0.0 && cap.is_finite(),
+            "constraint {c} has invalid capacity {cap}"
+        );
     }
     let nf = flow_constraints.len();
     let nc = caps.len();
@@ -61,7 +64,10 @@ pub fn maxmin_rates(caps: &[f64], flow_constraints: &[Vec<ConstraintId>]) -> Vec
                 }
             }
         }
-        debug_assert!(best_inc.is_finite(), "unfrozen flow with no live constraint");
+        debug_assert!(
+            best_inc.is_finite(),
+            "unfrozen flow with no live constraint"
+        );
         let inc = best_inc.max(0.0);
 
         // Raise every unfrozen flow by `inc` and charge its constraints.
@@ -114,7 +120,10 @@ pub fn maxmin_rates(caps: &[f64], flow_constraints: &[Vec<ConstraintId>]) -> Vec
 /// As [`maxmin_rates`]; additionally panics on zero weights.
 pub fn maxmin_rates_grouped(caps: &[f64], groups: &[(Vec<ConstraintId>, u64)]) -> Vec<f64> {
     for (c, &cap) in caps.iter().enumerate() {
-        assert!(cap > 0.0 && cap.is_finite(), "constraint {c} has invalid capacity {cap}");
+        assert!(
+            cap > 0.0 && cap.is_finite(),
+            "constraint {c} has invalid capacity {cap}"
+        );
     }
     let ng = groups.len();
     let nc = caps.len();
@@ -300,8 +309,7 @@ mod tests {
             let mut flat = Vec::new();
             for _ in 0..ngroups {
                 let k = 1 + (next() % 3) as usize;
-                let mut route: Vec<usize> =
-                    (0..k).map(|_| (next() % nc as u64) as usize).collect();
+                let mut route: Vec<usize> = (0..k).map(|_| (next() % nc as u64) as usize).collect();
                 route.sort_unstable();
                 route.dedup();
                 let weight = 1 + next() % 4;
@@ -346,7 +354,8 @@ mod tests {
             let flows: Vec<Vec<usize>> = (0..nf)
                 .map(|_| {
                     let k = 1 + (next() % 3) as usize;
-                    let mut cs: Vec<usize> = (0..k).map(|_| (next() % nc as u64) as usize).collect();
+                    let mut cs: Vec<usize> =
+                        (0..k).map(|_| (next() % nc as u64) as usize).collect();
                     cs.sort_unstable();
                     cs.dedup();
                     cs

@@ -71,7 +71,11 @@ impl NetProfile {
 
     /// Build the [`Fabric`] for `n_nodes` nodes of this profile.
     pub fn fabric(&self, n_nodes: usize) -> Fabric {
-        Fabric::new(n_nodes, self.nic_bw.bytes_per_s(), self.mem_bw.bytes_per_s())
+        Fabric::new(
+            n_nodes,
+            self.nic_bw.bytes_per_s(),
+            self.mem_bw.bytes_per_s(),
+        )
     }
 
     /// Total fixed cost of one remote storage request (latency plus
@@ -116,10 +120,7 @@ mod tests {
     #[test]
     fn request_costs_compose() {
         let p = NetProfile::das4_gbe();
-        assert_eq!(
-            p.request_cost(),
-            SimDuration::from_micros(125)
-        );
+        assert_eq!(p.request_cost(), SimDuration::from_micros(125));
         assert_eq!(p.local_request_cost(), SimDuration::from_micros(25));
         assert!(p.local_request_cost() < p.request_cost());
     }

@@ -251,7 +251,7 @@ mod tests {
     fn late_arrival_slows_first_job() {
         let mut r = PsResource::new(100.0, EfficiencyCurve::Linear);
         let a = r.admit(SimTime::ZERO, 100.0); // alone: would finish at 1 s
-        // At 0.5 s job A has 50 units left; B arrives with 10 units.
+                                               // At 0.5 s job A has 50 units left; B arrives with 10 units.
         let b = r.admit(t(500_000_000), 10.0);
         // Shared 50/50: B finishes 10/50 = 0.2 s later, at 0.7 s.
         let next = r.next_completion().unwrap();

@@ -170,11 +170,7 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_add(other.0)
-                .expect("SimDuration overflow"),
-        )
+        SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
     }
 }
 
@@ -189,11 +185,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(other.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(other.0).expect("SimDuration underflow"))
     }
 }
 
@@ -278,6 +270,9 @@ mod tests {
     #[test]
     fn max_time_is_sticky_under_saturating_add() {
         let never = SimTime::MAX;
-        assert_eq!(never.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            never.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 }

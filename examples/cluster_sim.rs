@@ -23,8 +23,18 @@ fn main() {
     );
 
     let configs = [
-        ("MemFS + uniform scheduling", FsModelKind::MemFs, SchedulerKind::Uniform, false),
-        ("AMFS  + locality scheduling", FsModelKind::Amfs, SchedulerKind::LocalityAware, true),
+        (
+            "MemFS + uniform scheduling",
+            FsModelKind::MemFs,
+            SchedulerKind::Uniform,
+            false,
+        ),
+        (
+            "AMFS  + locality scheduling",
+            FsModelKind::Amfs,
+            SchedulerKind::LocalityAware,
+            true,
+        ),
     ];
 
     for (label, fs, scheduler, single_mount) in configs {
@@ -46,7 +56,10 @@ fn main() {
         println!("  makespan: {:.1} s", result.makespan_secs);
         for (stage, secs) in &result.stage_secs {
             let bw = result.stage_bw_per_node.get(stage).copied().unwrap_or(0.0);
-            println!("  {stage:<12} {secs:>7.1} s   {:>6.0} MB/s per node", bw / 1e6);
+            println!(
+                "  {stage:<12} {secs:>7.1} s   {:>6.0} MB/s per node",
+                bw / 1e6
+            );
         }
         let peaks = &result.peak_mem_per_node;
         let mean = peaks.iter().sum::<u64>() as f64 / peaks.len() as f64;

@@ -12,10 +12,7 @@ use memfs::mtc::{EnvelopeModel, EnvelopePoint};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let nodes: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(64);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
     let file_kb: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
     let file = file_kb * 1000;
 
@@ -37,8 +34,16 @@ fn main() {
         );
     };
     print("write", model.memfs_write(file), model.amfs_write(file));
-    print("1-1 read", model.memfs_read_1_1(file), model.amfs_read_1_1(file));
-    print("N-1 read", model.memfs_read_n_1(file), model.amfs_read_n_1(file));
+    print(
+        "1-1 read",
+        model.memfs_read_1_1(file),
+        model.amfs_read_1_1(file),
+    );
+    print(
+        "N-1 read",
+        model.memfs_read_n_1(file),
+        model.amfs_read_n_1(file),
+    );
 
     println!("\nmetadata (op/s):");
     println!(

@@ -20,7 +20,8 @@ const N_IMAGES: usize = 24;
 const IMAGE_BYTES: usize = 512 * 1024;
 
 fn checksum(data: &[u8]) -> u64 {
-    data.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    data.iter()
+        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage in the input images.
     for i in 0..N_IMAGES {
-        let image: Vec<u8> = (0..IMAGE_BYTES).map(|b| ((b * (i + 3)) % 251) as u8).collect();
+        let image: Vec<u8> = (0..IMAGE_BYTES)
+            .map(|b| ((b * (i + 3)) % 251) as u8)
+            .collect();
         fs.write_file(&format!("/in/img_{i:03}.fits"), &image)?;
     }
     println!("staged {N_IMAGES} input images");
@@ -95,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
     let max = *loads.iter().max().unwrap() as f64;
     println!("\nper-server load (bytes): {loads:?}");
-    println!("imbalance (max/mean): {:.2} — symmetric distribution", max / mean);
+    println!(
+        "imbalance (max/mean): {:.2} — symmetric distribution",
+        max / mean
+    );
     Ok(())
 }
 

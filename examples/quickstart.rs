@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("file size: {} bytes", reader.size());
     let mut buf = vec![0u8; 1024];
     let n = reader.read_at(5 * 256 * 1024, &mut buf)?;
-    println!("read {} bytes at offset 1.25 MiB: first byte = {}", n, buf[0]);
+    println!(
+        "read {} bytes at offset 1.25 MiB: first byte = {}",
+        n, buf[0]
+    );
     assert_eq!(buf[0], 5);
 
     // Directory listing comes from the append-only directory log.

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use memfs::memfs_core::{MemFs, MemFsConfig};
-use memfs::memkv::net::{KvServer, TcpClient};
+use memfs::memkv::net::{KvServer, PoolConfig, TcpClient};
 use memfs::memkv::{KvClient, Store, StoreConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,18 +29,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mount MemFS over TCP clients — this is the Libmemcached role: the
     // client hashes each stripe key to a server; the servers never talk
-    // to each other.
+    // to each other. Each client keeps a small connection pool and
+    // pipelines batched requests (prefetch windows and write drains
+    // travel as multi-key frames).
+    let config = MemFsConfig {
+        stripe_size: 256 << 10,
+        ..MemFsConfig::default()
+    };
     let clients: Vec<Arc<dyn KvClient>> = addrs
         .iter()
-        .map(|a| Arc::new(TcpClient::connect(a).expect("connect")) as Arc<dyn KvClient>)
+        .map(|a| {
+            let pool = PoolConfig {
+                connections: config.pool_connections,
+                ..PoolConfig::default()
+            };
+            Arc::new(TcpClient::connect_with(a, pool).expect("connect")) as Arc<dyn KvClient>
+        })
         .collect();
-    let fs = MemFs::new(
-        clients,
-        MemFsConfig {
-            stripe_size: 256 << 10,
-            ..MemFsConfig::default()
-        },
-    )?;
+    let fs = MemFs::new(clients, config)?;
 
     // Push a 16 MiB file through the wire, striped.
     let payload: Vec<u8> = (0..16usize << 20).map(|i| (i % 253) as u8).collect();
@@ -74,11 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .to_string()
         };
         println!(
-            "  server {i}: {} items, {} bytes, {} sets, {} gets",
+            "  server {i}: {} items, {} bytes, {} sets, {} gets, {} batched multi-gets",
             get("curr_items"),
             get("bytes"),
             get("cmd_set"),
             get("cmd_get"),
+            get("cmd_mget"),
         );
     }
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, tests, formatting, lints.
+#
+#   scripts/verify.sh          # tier-1 gate + fmt + clippy
+#   scripts/verify.sh --full   # additionally run the full workspace test suite
+#
+# Tier-1 (must stay green, see ROADMAP.md): release build + root-package
+# tests. fmt/clippy keep the tree warning-free; clippy runs with -D warnings
+# so new lints fail the gate instead of scrolling by.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> cargo test --workspace -q (full)"
+    cargo test --workspace -q
+fi
+
+echo "verify: OK"

@@ -1,0 +1,311 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmarking harness exposing the criterion API
+//! subset this workspace's `benches/` use: `Criterion::bench_function`,
+//! benchmark groups with `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is
+//! calibrated with a short warm-up, then timed over `sample_size` samples;
+//! the median per-iteration time (and derived throughput, when declared)
+//! is printed to stdout. No statistical regression machinery, no HTML
+//! reports — numbers good enough to compare transports are the goal.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark, rendered `function/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declared per-iteration volume, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let id = id.into();
+        run_bench(&id.id, None, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Criterion calls this after all groups; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration and a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declare per-iteration volume; subsequent benchmarks report
+    /// throughput alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Calibrate, sample, and report one benchmark.
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Warm-up: find an iteration count whose sample time is measurable.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_target = Duration::from_millis(20);
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= warmup_target || bencher.iters >= 1 << 30 {
+            break;
+        }
+        bencher.iters = (bencher.iters * 2).max(1);
+    }
+    let per_iter_ns = (bencher.elapsed.as_nanos() as f64 / bencher.iters as f64).max(1.0);
+
+    // Split the measurement budget into `sample_size` equal samples.
+    let per_sample = measurement_time.as_nanos() as f64 / sample_size as f64;
+    let iters = ((per_sample / per_iter_ns).round() as u64).max(1);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let best = samples_ns[0];
+
+    let mut line = format!(
+        "{label:<48} {:>12}/iter (best {})",
+        fmt_ns(median),
+        fmt_ns(best)
+    );
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (1 << 20) as f64 / (median / 1e9);
+            line.push_str(&format!("  {mib_s:>10.1} MiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (median / 1e9);
+            line.push_str(&format!("  {elem_s:>10.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("copy", 1024), &vec![1u8; 1024], |b, v| {
+            b.iter(|| v.clone())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("set", 42).id, "set/42");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

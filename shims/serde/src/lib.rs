@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as empty marker traits and (with the
+//! `derive` feature) re-exports the no-op derives from `serde_derive`, so
+//! `use serde::{Serialize, Deserialize}` + `#[derive(...)]` compile
+//! unchanged. No serializer backend exists; the workspace writes its CSV
+//! and report output with hand-rolled formatters.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare a serializable shape.
+pub trait Serialize {}
+
+/// Marker for types that declare a deserializable shape.
+pub trait Deserialize {}

@@ -112,7 +112,10 @@ fn main() {
             }
             "stat" if args.len() == 2 => {
                 let st = fs.stat(&args[1])?;
-                println!("{}: {:?}, {} bytes, finalized={}", args[1], st.kind, st.size, st.finalized);
+                println!(
+                    "{}: {:?}, {} bytes, finalized={}",
+                    args[1], st.kind, st.size, st.finalized
+                );
             }
             "mkdir" if args.len() == 2 => fs.mkdir_all(&args[1])?,
             "rm" if args.len() == 2 => fs.unlink(&args[1])?,

@@ -12,7 +12,7 @@
 
 pub use memfs_amfs as amfs;
 pub use memfs_cluster as cluster;
-pub use memfs_core as memfs_core;
+pub use memfs_core;
 pub use memfs_hashring as hashring;
 pub use memfs_memkv as memkv;
 pub use memfs_mtc as mtc;

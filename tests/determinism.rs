@@ -87,9 +87,15 @@ fn envelope_scales_linearly_where_the_paper_says_so() {
         let small = EnvelopeModel::new(ClusterSpec::das4_ipoib(nodes));
         let double = EnvelopeModel::new(ClusterSpec::das4_ipoib(nodes * 2));
         let ratio = double.memfs_write(file).bandwidth / small.memfs_write(file).bandwidth;
-        assert!((ratio - 2.0).abs() < 0.05, "write scaling at {nodes}: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "write scaling at {nodes}: {ratio}"
+        );
         let ratio = double.memfs_open() / small.memfs_open();
-        assert!((ratio - 2.0).abs() < 0.05, "open scaling at {nodes}: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "open scaling at {nodes}: {ratio}"
+        );
     }
 }
 

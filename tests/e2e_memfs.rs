@@ -139,7 +139,8 @@ fn storage_balance_matches_the_papers_claim() {
     let (clients, stores) = servers_with_stores(8);
     let fs = MemFs::new(clients, small_config()).unwrap();
     for i in 0..64 {
-        fs.write_file(&format!("/f{i:03}"), &vec![1u8; 32 * 1024]).unwrap();
+        fs.write_file(&format!("/f{i:03}"), &vec![1u8; 32 * 1024])
+            .unwrap();
     }
     let loads: Vec<u64> = stores.iter().map(|s| s.bytes_used()).collect();
     let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
@@ -183,9 +184,7 @@ fn server_oom_surfaces_as_storage_error() {
         .collect();
     let fs = MemFs::new(clients, small_config()).unwrap();
     let mut w = fs.create("/too-big").unwrap();
-    let result = w
-        .write_all(&vec![0u8; 1 << 20])
-        .and_then(|_| w.close());
+    let result = w.write_all(&vec![0u8; 1 << 20]).and_then(|_| w.close());
     assert!(matches!(result, Err(MemFsError::Storage(_))));
 }
 

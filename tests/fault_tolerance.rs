@@ -91,7 +91,10 @@ fn two_failures_defeat_two_way_replication() {
     let outcome = fs.read_to_vec("/f").and(fs.read_to_vec("/f"));
     // With adjacent pairs dead, at least one replica set is fully gone
     // (stripes spread over all pairs for a 13-stripe file).
-    assert!(outcome.is_err(), "r=2 must not survive an adjacent double failure");
+    assert!(
+        outcome.is_err(),
+        "r=2 must not survive an adjacent double failure"
+    );
 }
 
 #[test]

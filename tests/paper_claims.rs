@@ -30,7 +30,10 @@ fn montage12_amfs_crashes_memfs_completes() {
         "AMFS must crash on Montage 12"
     );
     let msg = amfs[0].failed.as_deref().unwrap();
-    assert!(msg.contains("node 0"), "the crash is on the scheduler node: {msg}");
+    assert!(
+        msg.contains("node 0"),
+        "the crash is on the scheduler node: {msg}"
+    );
 }
 
 /// §4.1 / Table 1: MemFS outperforms AMFS on every envelope metric at
@@ -54,11 +57,17 @@ fn envelope_winner_pattern() {
 fn locality_loss_factors() {
     let ipoib = EnvelopeModel::new(ClusterSpec::das4_ipoib(64));
     let factor = ipoib.memfs_read_1_1(MB).bandwidth / ipoib.amfs_read_1_1_remote(MB).bandwidth;
-    assert!((3.5..6.5).contains(&factor), "IPoIB factor {factor} vs paper's 4.63");
+    assert!(
+        (3.5..6.5).contains(&factor),
+        "IPoIB factor {factor} vs paper's 4.63"
+    );
 
     let gbe = EnvelopeModel::new(ClusterSpec::das4_gbe(64));
     let factor = gbe.memfs_read_1_1(MB).bandwidth / gbe.amfs_read_1_1_remote(MB).bandwidth;
-    assert!(factor > 1.0, "MemFS must stay ahead on 1GbE (paper: 1.4x), got {factor}");
+    assert!(
+        factor > 1.0,
+        "MemFS must stay ahead on 1GbE (paper: 1.4x), got {factor}"
+    );
 }
 
 /// §4.2.2 / Figure 10: with one FUSE mountpoint MemFS cannot scale past
@@ -74,14 +83,18 @@ fn mountpoint_bottleneck_and_fix() {
     let single8 = run_config(
         "t",
         &wf,
-        Deployment::full(ClusterSpec::ec2(4)).with_cores_per_node(8).with_single_mount(),
+        Deployment::full(ClusterSpec::ec2(4))
+            .with_cores_per_node(8)
+            .with_single_mount(),
         FsModelKind::MemFs,
         &MONTAGE_STAGES,
     );
     let single32 = run_config(
         "t",
         &wf,
-        Deployment::full(ClusterSpec::ec2(4)).with_cores_per_node(32).with_single_mount(),
+        Deployment::full(ClusterSpec::ec2(4))
+            .with_cores_per_node(32)
+            .with_single_mount(),
         FsModelKind::MemFs,
         &MONTAGE_STAGES,
     );

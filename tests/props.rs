@@ -22,8 +22,9 @@ use proptest::prelude::*;
 fn mount(n: usize, stripe: usize) -> MemFs {
     let clients: Vec<Arc<dyn KvClient>> = (0..n)
         .map(|_| {
-            Arc::new(LocalClient::new(Arc::new(Store::new(StoreConfig::default()))))
-                as Arc<dyn KvClient>
+            Arc::new(LocalClient::new(Arc::new(Store::new(
+                StoreConfig::default(),
+            )))) as Arc<dyn KvClient>
         })
         .collect();
     MemFs::new(

@@ -53,7 +53,8 @@ fn two_tcp_mounts_share_the_namespace() {
     let fs1 = MemFs::new(clients.clone(), MemFsConfig::default()).unwrap();
     let fs2 = MemFs::new(clients, MemFsConfig::default()).unwrap();
 
-    fs1.write_file("/shared.txt", b"written by mount 1").unwrap();
+    fs1.write_file("/shared.txt", b"written by mount 1")
+        .unwrap();
     assert_eq!(
         fs2.read_to_vec("/shared.txt").unwrap(),
         b"written by mount 1"
