@@ -49,9 +49,9 @@ fn cluster(connections: usize) -> (Vec<KvServer>, Arc<ServerPool>) {
     (servers, pool)
 }
 
-fn keyset(value_size: usize, pool: &ServerPool) -> Vec<Vec<u8>> {
-    let keys: Vec<Vec<u8>> = (0..N_KEYS)
-        .map(|i| format!("s:/bench/file{i}#0").into_bytes())
+fn keyset(value_size: usize, pool: &ServerPool) -> Vec<Bytes> {
+    let keys: Vec<Bytes> = (0..N_KEYS)
+        .map(|i| Bytes::from(format!("s:/bench/file{i}#0")))
         .collect();
     for k in &keys {
         pool.set(k, Bytes::from(vec![0xC3u8; value_size])).unwrap();
@@ -140,9 +140,9 @@ fn bench_stripe_read(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Bytes((STRIPE * N_STRIPES) as u64));
 
-    let stripe_keys = || -> Vec<Vec<u8>> {
+    let stripe_keys = || -> Vec<Bytes> {
         (0..N_STRIPES)
-            .map(|i| format!("s:/bench/big.dat#{i}").into_bytes())
+            .map(|i| Bytes::from(format!("s:/bench/big.dat#{i}")))
             .collect()
     };
 

@@ -40,7 +40,7 @@ pub struct WriteBuffer {
     workers: Arc<ThreadPool>,
     current: BytesMut,
     /// Completed stripes waiting to travel as one batched `set_many`.
-    batch: Vec<(Vec<u8>, Bytes)>,
+    batch: Vec<(Bytes, Bytes)>,
     batch_stripes: usize,
     next_stripe: u64,
     written: u64,
@@ -147,7 +147,7 @@ impl WriteBuffer {
     /// the workers once `batch_stripes` have accumulated.
     fn submit_current(&mut self) -> MemFsResult<()> {
         let payload = self.current.split().freeze();
-        let key = KeySchema::stripe_key(&self.path, self.next_stripe);
+        let key = Bytes::from(KeySchema::stripe_key(&self.path, self.next_stripe));
         self.next_stripe += 1;
         self.batch.push((key, payload));
         if self.batch.len() >= self.batch_stripes {
@@ -157,9 +157,10 @@ impl WriteBuffer {
     }
 
     /// Hand the pending batch to the writer pool as one job. The job
-    /// issues one pipelined `set_many` per owning server, so a batch of
-    /// `b` stripes costs at most one round trip per server rather than
-    /// `b` round trips.
+    /// issues one pipelined `set_many` per owning server — the pool fans
+    /// those per-server batches (including replica copies) out in
+    /// parallel, so a batch of `b` stripes costs one *concurrent* round
+    /// trip per server rather than `b` sequential round trips.
     fn submit_batch(&mut self) -> MemFsResult<()> {
         if self.batch.is_empty() {
             return Ok(());

@@ -52,6 +52,11 @@ pub struct MemFsConfig {
     /// transport (the [`memfs_memkv::PoolConfig::connections`] knob).
     /// In-process mounts ignore it.
     pub pool_connections: usize,
+    /// Dispatcher workers fanning per-server batches out concurrently
+    /// (paper §3.2.2: symmetrical striping drives all N servers at once).
+    /// `0` means auto — one worker per server, the full-fan-out default;
+    /// `1` forces sequential per-server dispatch (a bench baseline).
+    pub io_parallelism: usize,
     /// Key distribution scheme.
     pub distributor: DistributorKind,
     /// Replication factor (1 = the paper's configuration). With `r > 1`
@@ -72,6 +77,7 @@ impl Default for MemFsConfig {
             prefetch_window: 8,
             write_batch_stripes: 4,
             pool_connections: 4,
+            io_parallelism: 0,
             distributor: DistributorKind::default(),
             replication: 1,
         }
@@ -165,6 +171,13 @@ impl MemFsConfig {
         self.pool_connections = connections;
         self
     }
+
+    /// Builder-style setter for the fan-out dispatcher width (`0` = one
+    /// worker per server, `1` = sequential dispatch).
+    pub fn with_io_parallelism(mut self, workers: usize) -> Self {
+        self.io_parallelism = workers;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +195,19 @@ mod tests {
         assert_eq!(c.read_cache_stripes(), 16);
         assert_eq!(c.write_batch_stripes, 4);
         assert_eq!(c.pool_connections, 4);
+        assert_eq!(c.io_parallelism, 0, "auto: one dispatcher per server");
+    }
+
+    #[test]
+    fn io_parallelism_builder_sets_width() {
+        let c = MemFsConfig::default().with_io_parallelism(2);
+        assert_eq!(c.io_parallelism, 2);
+        assert!(c.validate().is_ok());
+        // 1 (sequential) and 0 (auto) are both valid.
+        assert!(MemFsConfig::default()
+            .with_io_parallelism(1)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -76,10 +76,11 @@ impl MemFs {
         if let Err(msg) = config.validate() {
             return Err(MemFsError::InvalidPath(format!("config: {msg}")));
         }
-        let pool = Arc::new(ServerPool::with_replication(
+        let pool = Arc::new(ServerPool::with_options(
             servers,
             config.distributor,
             config.replication,
+            config.io_parallelism,
         ));
         Self::with_pool(pool, config)
     }
@@ -503,11 +504,25 @@ impl ReadHandle {
 
     /// Read up to `buf.len()` bytes at `offset`, returning the byte count
     /// (short only at end of file).
+    ///
+    /// A read spanning several stripes fetches them as **one** batched
+    /// [`StripeReader::read_stripes`] call, whose per-server multi-gets
+    /// the pool fans out in parallel — a large `read_at` (and therefore
+    /// [`MemFs::read_to_vec`]) drives all servers at once instead of
+    /// walking the stripes sequentially.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> MemFsResult<usize> {
         let spans = self.layout.spans(self.size(), offset, buf.len());
+        let stripes: Vec<Bytes> = match spans.len() {
+            0 => Vec::new(),
+            // Single-stripe reads keep the prefetch-triggering path.
+            1 => vec![self.reader.stripe(spans[0].stripe)?],
+            _ => {
+                let wanted: Vec<u64> = spans.iter().map(|s| s.stripe).collect();
+                self.reader.read_stripes(&wanted)?
+            }
+        };
         let mut filled = 0usize;
-        for span in spans {
-            let stripe = self.reader.stripe(span.stripe)?;
+        for (span, stripe) in spans.iter().zip(stripes) {
             if stripe.len() < span.offset_in_stripe + span.len {
                 return Err(MemFsError::CorruptMetadata(format!(
                     "stripe {} of {} shorter than the size record implies",

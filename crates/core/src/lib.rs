@@ -70,4 +70,4 @@ pub use config::{DistributorKind, MemFsConfig};
 pub use elastic::{rebalance, RebalanceReport};
 pub use error::{MemFsError, MemFsResult};
 pub use fs::{DirEntry, EntryKind, FileStat, MemFs, ReadHandle, WriteHandle};
-pub use pool::ServerPool;
+pub use pool::{PoolStats, ServerIoSnapshot, ServerPool};

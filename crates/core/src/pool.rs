@@ -4,8 +4,15 @@
 //! operation hashes its key to pick the server. All MemFS mounts with the
 //! same server list and distributor agree on placement — that is what lets
 //! any compute node read any file without coordination.
+//!
+//! Batched operations fan their per-server batches out **concurrently**
+//! through a dispatcher thread pool (paper §3.2.2: symmetrical striping
+//! means every file operation should drive all N servers at once, using
+//! the full bisection bandwidth). A `get_many` window therefore costs
+//! `max(server RTT)`, not `sum(server RTTs)`.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use memfs_hashring::{group_by_server, Distributor, KetamaRing, ModuloRing, ServerId};
@@ -13,8 +20,170 @@ use memfs_memkv::{KvClient, KvError};
 
 use crate::config::DistributorKind;
 use crate::error::{MemFsError, MemFsResult};
+use crate::threadpool::{ThreadPool, WaitGroup};
 
-/// A hash-routed pool of storage servers with optional n-way replication.
+/// Per-server I/O counters, updated by every batched dispatch.
+///
+/// `in_flight` is a live gauge (batches currently on the wire to that
+/// server); `max_in_flight` is its high-water mark. With symmetrical
+/// striping working as the paper claims, a fan-out over N servers should
+/// drive `max_in_flight` to 1 on *every* server at once rather than
+/// serially — that is what makes the symmetry observable.
+#[derive(Debug, Default)]
+struct ServerIo {
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+    batches: AtomicU64,
+    keys: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl ServerIo {
+    /// Count a batch of `nkeys` as in flight until the guard drops.
+    fn track(&self, nkeys: usize) -> InFlightGuard<'_> {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        self.keys.fetch_add(nkeys as u64, Ordering::SeqCst);
+        InFlightGuard(self)
+    }
+
+    fn bump_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct InFlightGuard<'a>(&'a ServerIo);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Point-in-time copy of one server's I/O counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerIoSnapshot {
+    /// Batches on the wire to this server right now.
+    pub in_flight: usize,
+    /// High-water mark of `in_flight`.
+    pub max_in_flight: usize,
+    /// Total batched calls dispatched to this server.
+    pub batches: u64,
+    /// Total keys carried by those batches.
+    pub keys: u64,
+    /// Keys that needed the replica-chain fallback.
+    pub fallbacks: u64,
+}
+
+/// Per-server dispatch accounting for the whole pool.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    servers: Vec<ServerIo>,
+}
+
+impl PoolStats {
+    fn new(n: usize) -> Self {
+        PoolStats {
+            servers: (0..n).map(|_| ServerIo::default()).collect(),
+        }
+    }
+
+    /// Snapshot every server's counters, indexed by [`ServerId`].
+    pub fn snapshot(&self) -> Vec<ServerIoSnapshot> {
+        self.servers
+            .iter()
+            .map(|s| ServerIoSnapshot {
+                in_flight: s.in_flight.load(Ordering::SeqCst),
+                max_in_flight: s.max_in_flight.load(Ordering::SeqCst),
+                batches: s.batches.load(Ordering::SeqCst),
+                keys: s.keys.load(Ordering::SeqCst),
+                fallbacks: s.fallbacks.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+}
+
+/// The shareable routing state: everything a dispatcher job needs, behind
+/// one `Arc` so per-server closures are `'static` without cloning clients
+/// or the ring.
+struct PoolCore {
+    clients: Vec<Arc<dyn KvClient>>,
+    dist: Arc<dyn Distributor>,
+    replication: usize,
+    stats: PoolStats,
+}
+
+impl PoolCore {
+    fn servers_for<'a>(&'a self, key: &[u8]) -> impl Iterator<Item = ServerId> + 'a {
+        let primary = self.dist.server_for(key).0;
+        let n = self.clients.len();
+        (0..self.replication).map(move |i| ServerId((primary + i) % n))
+    }
+
+    fn client(&self, id: ServerId) -> &Arc<dyn KvClient> {
+        &self.clients[id.0]
+    }
+
+    fn get(&self, key: &[u8]) -> MemFsResult<Bytes> {
+        let mut last_err: Option<KvError> = None;
+        for id in self.servers_for(key) {
+            match self.client(id).get(key) {
+                Ok(v) => return Ok(v),
+                Err(e @ KvError::NotFound) => return Err(e.into()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("replication >= 1").into())
+    }
+
+    /// One server's share of a `get_many`: a single batched multi-get,
+    /// with per-key replica-chain fallback on transport failure. Runs on
+    /// dispatcher workers; must never re-enter a pool-level batch op.
+    fn fetch_group(&self, server: usize, batch: &[Bytes]) -> Vec<MemFsResult<Bytes>> {
+        let io = &self.stats.servers[server];
+        let _in_flight = io.track(batch.len());
+        match self.clients[server].get_many(batch) {
+            Ok(results) => batch
+                .iter()
+                .zip(results)
+                .map(|(key, r)| match r {
+                    Ok(v) => Ok(v),
+                    Err(KvError::NotFound) => Err(KvError::NotFound.into()),
+                    // Per-key transport/server error: replica chain.
+                    Err(_) => {
+                        io.bump_fallback();
+                        self.get(key)
+                    }
+                })
+                .collect(),
+            // Whole-batch transport failure: fall back key by key so
+            // replicas (if any) still serve this server's share while the
+            // other servers' batches proceed untouched.
+            Err(_) => batch
+                .iter()
+                .map(|key| {
+                    io.bump_fallback();
+                    self.get(key)
+                })
+                .collect(),
+        }
+    }
+
+    /// One server's share of a `set_many`: a single pipelined batch,
+    /// reduced to the first per-item error (if any).
+    fn store_group(&self, server: usize, batch: &[(Bytes, Bytes)]) -> Option<MemFsError> {
+        let io = &self.stats.servers[server];
+        let _in_flight = io.track(batch.len());
+        match self.clients[server].set_many(batch) {
+            Ok(results) => results.into_iter().find_map(|r| r.err()).map(Into::into),
+            Err(e) => Some(e.into()),
+        }
+    }
+}
+
+/// A hash-routed pool of storage servers with optional n-way replication
+/// and a concurrent per-server dispatcher for batched operations.
 ///
 /// Replication is the fault-tolerance mechanism the paper sketches but
 /// defers ("assuming the replication factor is n, then the total storage
@@ -32,23 +201,24 @@ use crate::error::{MemFsError, MemFsResult};
 /// converges; applications needing ordered replicated appends should keep
 /// `replication = 1`.
 pub struct ServerPool {
-    clients: Vec<Arc<dyn KvClient>>,
-    dist: Arc<dyn Distributor>,
-    replication: usize,
+    core: Arc<PoolCore>,
+    /// Per-server fan-out workers; `None` means sequential dispatch
+    /// (`io_parallelism` resolved to 1, or a single server).
+    dispatcher: Option<ThreadPool>,
 }
 
 impl ServerPool {
-    /// Build a pool over `clients` with the configured distributor and no
-    /// replication.
+    /// Build a pool over `clients` with the configured distributor, no
+    /// replication, and the default fan-out (one worker per server).
     ///
     /// # Panics
     /// Panics on an empty client list.
     pub fn new(clients: Vec<Arc<dyn KvClient>>, kind: DistributorKind) -> Self {
-        Self::with_replication(clients, kind, 1)
+        Self::with_options(clients, kind, 1, 0)
     }
 
     /// Build a pool that writes each key to `replication` consecutive
-    /// servers.
+    /// servers, with the default fan-out.
     ///
     /// # Panics
     /// Panics on an empty client list, `replication == 0`, or a
@@ -57,6 +227,22 @@ impl ServerPool {
         clients: Vec<Arc<dyn KvClient>>,
         kind: DistributorKind,
         replication: usize,
+    ) -> Self {
+        Self::with_options(clients, kind, replication, 0)
+    }
+
+    /// Build a pool with every knob explicit. `io_parallelism` is the
+    /// dispatcher worker count: `0` means auto (one worker per server, the
+    /// paper's full-fan-out shape), `1` forces sequential per-server
+    /// dispatch (the PR 1 behaviour, useful as a bench baseline).
+    ///
+    /// # Panics
+    /// Panics on an empty client list or an invalid replication factor.
+    pub fn with_options(
+        clients: Vec<Arc<dyn KvClient>>,
+        kind: DistributorKind,
+        replication: usize,
+        io_parallelism: usize,
     ) -> Self {
         assert!(!clients.is_empty(), "server pool needs at least one server");
         assert!(
@@ -70,45 +256,66 @@ impl ServerPool {
                 Arc::new(KetamaRing::with_n_servers(clients.len(), points_per_server))
             }
         };
-        ServerPool {
+        let workers = if io_parallelism == 0 {
+            clients.len()
+        } else {
+            io_parallelism
+        };
+        let stats = PoolStats::new(clients.len());
+        let core = Arc::new(PoolCore {
             clients,
             dist,
             replication,
-        }
+            stats,
+        });
+        // One server (or parallelism forced to 1) has nothing to overlap:
+        // skip the worker threads entirely and dispatch inline.
+        let dispatcher =
+            (workers > 1 && core.clients.len() > 1).then(|| ThreadPool::new(workers, "pool-io"));
+        ServerPool { core, dispatcher }
     }
 
     /// The configured replication factor.
     pub fn replication(&self) -> usize {
-        self.replication
+        self.core.replication
+    }
+
+    /// Effective dispatcher width: how many per-server batches can be on
+    /// the wire simultaneously.
+    pub fn io_parallelism(&self) -> usize {
+        self.dispatcher.as_ref().map_or(1, ThreadPool::size)
+    }
+
+    /// Per-server dispatch counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.core.stats
     }
 
     /// The servers holding `key`, primary first.
     pub fn servers_for(&self, key: &[u8]) -> impl Iterator<Item = ServerId> + '_ {
-        let primary = self.dist.server_for(key).0;
-        let n = self.clients.len();
-        (0..self.replication).map(move |i| ServerId((primary + i) % n))
+        self.core.servers_for(key)
     }
 
     /// Number of servers.
     pub fn n_servers(&self) -> usize {
-        self.clients.len()
+        self.core.clients.len()
     }
 
     /// The server a key routes to (exposed for balance diagnostics and the
     /// simulation models, which share this placement logic).
     pub fn server_for(&self, key: &[u8]) -> ServerId {
-        self.dist.server_for(key)
+        self.core.dist.server_for(key)
     }
 
     /// The client for a given server id.
     pub fn client(&self, id: ServerId) -> &Arc<dyn KvClient> {
-        &self.clients[id.0]
+        self.core.client(id)
     }
 
     /// Routed `set`: written to every replica; all must accept.
     pub fn set(&self, key: &[u8], value: Bytes) -> MemFsResult<()> {
-        for id in self.servers_for(key) {
-            self.client(id).set(key, value.clone())?;
+        for id in self.core.servers_for(key) {
+            self.core.client(id).set(key, value.clone())?;
         }
         Ok(())
     }
@@ -116,11 +323,11 @@ impl ServerPool {
     /// Routed `add`: the primary arbitrates existence (its atomic `add` is
     /// the write-once gate); followers receive plain `set`s.
     pub fn add(&self, key: &[u8], value: Bytes) -> MemFsResult<()> {
-        let mut servers = self.servers_for(key);
+        let mut servers = self.core.servers_for(key);
         let primary = servers.next().expect("replication >= 1");
-        self.client(primary).add(key, value.clone())?;
+        self.core.client(primary).add(key, value.clone())?;
         for id in servers {
-            self.client(id).set(key, value.clone())?;
+            self.core.client(id).set(key, value.clone())?;
         }
         Ok(())
     }
@@ -129,60 +336,74 @@ impl ServerPool {
     /// transport/server errors trigger fallback — `NotFound` is
     /// authoritative from any live replica.
     pub fn get(&self, key: &[u8]) -> MemFsResult<Bytes> {
-        let mut last_err: Option<KvError> = None;
-        for id in self.servers_for(key) {
-            match self.client(id).get(key) {
-                Ok(v) => return Ok(v),
-                Err(e @ KvError::NotFound) => return Err(e.into()),
-                Err(e) => last_err = Some(e),
-            }
-        }
-        Err(last_err.expect("replication >= 1").into())
+        self.core.get(key)
     }
 
     /// Routed `get` that maps a missing key to `None`.
     pub fn try_get(&self, key: &[u8]) -> MemFsResult<Option<Bytes>> {
-        match self.get(key) {
+        match self.core.get(key) {
             Ok(v) => Ok(Some(v)),
             Err(MemFsError::Storage(KvError::NotFound)) => Ok(None),
             Err(e) => Err(e),
         }
     }
 
-    /// Batched routed `get`: keys are grouped by primary server and each
-    /// group travels as **one** [`KvClient::get_many`] call, so a prefetch
-    /// window of `w` stripes over `n` servers costs at most `n` round
-    /// trips instead of `w`. Results come back in input order.
+    /// Batched routed `get`: keys are grouped by primary server, each
+    /// group travels as **one** [`KvClient::get_many`] call, and the
+    /// groups go out **concurrently** through the dispatcher — a prefetch
+    /// window of `w` stripes over `n` servers costs one parallel round
+    /// trip (`max` of the per-server times), not `n` sequential ones.
+    /// Results come back in input order.
     ///
     /// Fallback mirrors [`ServerPool::get`]: a transport failure (of the
     /// whole batch or a single key) retries that key through the replica
-    /// chain; `NotFound` from a live server is authoritative.
-    pub fn get_many(&self, keys: &[Vec<u8>]) -> Vec<MemFsResult<Bytes>> {
-        let mut out: Vec<Option<MemFsResult<Bytes>>> = (0..keys.len()).map(|_| None).collect();
-        for (server, group) in group_by_server(self.dist.as_ref(), keys)
+    /// chain *inside that server's job*, so a dead server degrades only
+    /// its own keys while the healthy servers' batches proceed.
+    pub fn get_many(&self, keys: &[Bytes]) -> Vec<MemFsResult<Bytes>> {
+        let mut work: Vec<(usize, Vec<usize>)> = group_by_server(self.core.dist.as_ref(), keys)
             .into_iter()
             .enumerate()
-        {
-            if group.is_empty() {
-                continue;
-            }
-            let batch: Vec<Vec<u8>> = group.iter().map(|&i| keys[i].clone()).collect();
-            match self.client(ServerId(server)).get_many(&batch) {
-                Ok(results) => {
-                    for (&i, r) in group.iter().zip(results) {
-                        out[i] = Some(match r {
-                            Ok(v) => Ok(v),
-                            Err(KvError::NotFound) => Err(KvError::NotFound.into()),
-                            // Per-key transport/server error: replica chain.
-                            Err(_) => self.get(&keys[i]),
-                        });
+            .filter(|(_, group)| !group.is_empty())
+            .collect();
+        let mut out: Vec<Option<MemFsResult<Bytes>>> = (0..keys.len()).map(|_| None).collect();
+        match &self.dispatcher {
+            Some(pool) if work.len() > 1 => {
+                let shared = Arc::new(Mutex::new(out));
+                // The caller's thread is a worker too: it runs the last
+                // group itself instead of idling on the WaitGroup.
+                let (last_server, last_group) = work.pop().expect("len > 1");
+                let wg = Arc::new(WaitGroup::new(work.len()));
+                for (server, group) in work {
+                    let batch: Vec<Bytes> = group.iter().map(|&i| keys[i].clone()).collect();
+                    let core = Arc::clone(&self.core);
+                    let shared = Arc::clone(&shared);
+                    let wg = Arc::clone(&wg);
+                    pool.execute(move || {
+                        let results = core.fetch_group(server, &batch);
+                        let mut out = shared.lock().expect("fan-out results lock");
+                        for (&i, r) in group.iter().zip(results) {
+                            out[i] = Some(r);
+                        }
+                        drop(out);
+                        wg.done();
+                    });
+                }
+                let batch: Vec<Bytes> = last_group.iter().map(|&i| keys[i].clone()).collect();
+                let results = self.core.fetch_group(last_server, &batch);
+                {
+                    let mut out = shared.lock().expect("fan-out results lock");
+                    for (&i, r) in last_group.iter().zip(results) {
+                        out[i] = Some(r);
                     }
                 }
-                // Whole-batch transport failure: fall back key by key so
-                // replicas (if any) still serve the window.
-                Err(_) => {
-                    for &i in &group {
-                        out[i] = Some(self.get(&keys[i]));
+                wg.wait();
+                out = std::mem::take(&mut *shared.lock().expect("fan-out results lock"));
+            }
+            _ => {
+                for (server, group) in work {
+                    let batch: Vec<Bytes> = group.iter().map(|&i| keys[i].clone()).collect();
+                    for (&i, r) in group.iter().zip(self.core.fetch_group(server, &batch)) {
+                        out[i] = Some(r);
                     }
                 }
             }
@@ -194,38 +415,54 @@ impl ServerPool {
 
     /// Batched routed `set`: items are grouped per replica-holding server
     /// and each group travels as one pipelined [`KvClient::set_many`]
-    /// call. Fails on the first per-item error after attempting every
-    /// batch (matching `set`'s all-replicas-must-accept contract).
-    pub fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> MemFsResult<()> {
+    /// call, all groups dispatched **concurrently** (replica batches to
+    /// different servers overlap too). Every batch is always attempted;
+    /// the error returned is the first per-item failure in server order,
+    /// independent of completion order, matching `set`'s
+    /// all-replicas-must-accept contract deterministically.
+    pub fn set_many(&self, items: &[(Bytes, Bytes)]) -> MemFsResult<()> {
         // With replication, each item lands on `r` consecutive servers —
         // build one batch per *target* server across all replicas.
-        let mut batches: Vec<Vec<(Vec<u8>, Bytes)>> = vec![Vec::new(); self.clients.len()];
+        let mut batches: Vec<Vec<(Bytes, Bytes)>> = vec![Vec::new(); self.core.clients.len()];
         for (key, value) in items {
-            for id in self.servers_for(key) {
+            for id in self.core.servers_for(key) {
                 batches[id.0].push((key.clone(), value.clone()));
             }
         }
-        let mut first_err: Option<MemFsError> = None;
-        for (server, batch) in batches.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            match self.client(ServerId(server)).set_many(&batch) {
-                Ok(results) => {
-                    if first_err.is_none() {
-                        if let Some(e) = results.into_iter().find_map(|r| r.err()) {
-                            first_err = Some(e.into());
-                        }
-                    }
+        let mut work: Vec<(usize, Vec<(Bytes, Bytes)>)> = batches
+            .into_iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .collect();
+        let mut errs: Vec<Option<MemFsError>> =
+            (0..self.core.clients.len()).map(|_| None).collect();
+        match &self.dispatcher {
+            Some(pool) if work.len() > 1 => {
+                let shared = Arc::new(Mutex::new(errs));
+                let (last_server, last_batch) = work.pop().expect("len > 1");
+                let wg = Arc::new(WaitGroup::new(work.len()));
+                for (server, batch) in work {
+                    let core = Arc::clone(&self.core);
+                    let shared = Arc::clone(&shared);
+                    let wg = Arc::clone(&wg);
+                    pool.execute(move || {
+                        let err = core.store_group(server, &batch);
+                        shared.lock().expect("fan-out errs lock")[server] = err;
+                        wg.done();
+                    });
                 }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e.into());
-                    }
+                let err = self.core.store_group(last_server, &last_batch);
+                shared.lock().expect("fan-out errs lock")[last_server] = err;
+                wg.wait();
+                errs = std::mem::take(&mut *shared.lock().expect("fan-out errs lock"));
+            }
+            _ => {
+                for (server, batch) in work {
+                    errs[server] = self.core.store_group(server, &batch);
                 }
             }
         }
-        match first_err {
+        match errs.into_iter().flatten().next() {
             None => Ok(()),
             Some(e) => Err(e),
         }
@@ -234,8 +471,8 @@ impl ServerPool {
     /// Routed atomic `append`, applied to every replica (see the ordering
     /// caveat in the type docs).
     pub fn append(&self, key: &[u8], suffix: &[u8]) -> MemFsResult<()> {
-        for id in self.servers_for(key) {
-            self.client(id).append(key, suffix)?;
+        for id in self.core.servers_for(key) {
+            self.core.client(id).append(key, suffix)?;
         }
         Ok(())
     }
@@ -245,8 +482,8 @@ impl ServerPool {
     pub fn delete_quiet(&self, key: &[u8]) -> MemFsResult<()> {
         let mut last_err: Option<KvError> = None;
         let mut any_ok = false;
-        for id in self.servers_for(key) {
-            match self.client(id).delete(key) {
+        for id in self.core.servers_for(key) {
+            match self.core.client(id).delete(key) {
                 Ok(()) | Err(KvError::NotFound) => any_ok = true,
                 Err(e) => last_err = Some(e),
             }
@@ -260,15 +497,17 @@ impl ServerPool {
 
     /// Whether a key exists on any live replica.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.servers_for(key)
-            .any(|id| self.client(id).contains(key))
+        self.core
+            .servers_for(key)
+            .any(|id| self.core.client(id).contains(key))
     }
 }
 
 impl std::fmt::Debug for ServerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerPool")
-            .field("n_servers", &self.clients.len())
+            .field("n_servers", &self.core.clients.len())
+            .field("io_parallelism", &self.io_parallelism())
             .finish()
     }
 }
@@ -317,8 +556,8 @@ mod tests {
     #[test]
     fn get_many_issues_one_batch_per_server() {
         let (p, stores) = pool(4);
-        let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("s:/f{i}#0").into_bytes()).collect();
-        let items: Vec<(Vec<u8>, Bytes)> = keys
+        let keys: Vec<Bytes> = (0..64).map(|i| Bytes::from(format!("s:/f{i}#0"))).collect();
+        let items: Vec<(Bytes, Bytes)> = keys
             .iter()
             .map(|k| {
                 (
@@ -348,7 +587,10 @@ mod tests {
     fn get_many_misses_are_per_key() {
         let (p, _) = pool(3);
         p.set(b"present", Bytes::from_static(b"yes")).unwrap();
-        let out = p.get_many(&[b"present".to_vec(), b"absent".to_vec()]);
+        let out = p.get_many(&[
+            Bytes::from_static(b"present"),
+            Bytes::from_static(b"absent"),
+        ]);
         assert_eq!(out[0].as_ref().unwrap().as_ref(), b"yes");
         assert!(matches!(
             out[1],
@@ -371,7 +613,7 @@ mod tests {
             .map(|f| Arc::clone(f) as Arc<dyn KvClient>)
             .collect();
         let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
-        let keys: Vec<Vec<u8>> = (0..24).map(|i| format!("k{i}").into_bytes()).collect();
+        let keys: Vec<Bytes> = (0..24).map(|i| Bytes::from(format!("k{i}"))).collect();
         for k in &keys {
             p.set(k, Bytes::from_static(b"replicated")).unwrap();
         }
@@ -394,8 +636,8 @@ mod tests {
             .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
             .collect();
         let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
-        let items: Vec<(Vec<u8>, Bytes)> = (0..16)
-            .map(|i| (format!("k{i}").into_bytes(), Bytes::from_static(b"x")))
+        let items: Vec<(Bytes, Bytes)> = (0..16)
+            .map(|i| (Bytes::from(format!("k{i}")), Bytes::from_static(b"x")))
             .collect();
         p.set_many(&items).unwrap();
         let copies: u64 = stores.iter().map(|s| s.item_count()).sum();
@@ -534,5 +776,54 @@ mod tests {
             (double as f64 / single as f64 - 2.0).abs() < 0.05,
             "2x replication should store ~2x: {single} -> {double}"
         );
+    }
+
+    #[test]
+    fn io_parallelism_knob_controls_dispatcher_width() {
+        let clients = |n: usize| -> Vec<Arc<dyn KvClient>> {
+            (0..n)
+                .map(|_| {
+                    Arc::new(LocalClient::new(Arc::new(Store::new(
+                        StoreConfig::default(),
+                    )))) as Arc<dyn KvClient>
+                })
+                .collect()
+        };
+        // Auto: one worker per server.
+        let p = ServerPool::with_options(clients(4), DistributorKind::default(), 1, 0);
+        assert_eq!(p.io_parallelism(), 4);
+        // Explicit width.
+        let p = ServerPool::with_options(clients(4), DistributorKind::default(), 1, 2);
+        assert_eq!(p.io_parallelism(), 2);
+        // Forced sequential: no dispatcher.
+        let p = ServerPool::with_options(clients(4), DistributorKind::default(), 1, 1);
+        assert_eq!(p.io_parallelism(), 1);
+        // Single server: nothing to overlap.
+        let p = ServerPool::with_options(clients(1), DistributorKind::default(), 1, 0);
+        assert_eq!(p.io_parallelism(), 1);
+    }
+
+    #[test]
+    fn pool_stats_count_batches_and_settle_to_zero_in_flight() {
+        let (p, _) = pool(4);
+        let keys: Vec<Bytes> = (0..64).map(|i| Bytes::from(format!("s:/f{i}#0"))).collect();
+        let items: Vec<(Bytes, Bytes)> = keys
+            .iter()
+            .map(|k| (k.clone(), Bytes::from_static(b"v")))
+            .collect();
+        p.set_many(&items).unwrap();
+        for r in p.get_many(&keys) {
+            r.unwrap();
+        }
+        let snap = p.stats().snapshot();
+        let total_keys: u64 = snap.iter().map(|s| s.keys).sum();
+        assert_eq!(total_keys, 128, "64 set + 64 get keys accounted");
+        for s in &snap {
+            assert_eq!(s.in_flight, 0, "gauge must settle after the calls");
+            if s.batches > 0 {
+                assert!(s.max_in_flight >= 1);
+            }
+            assert_eq!(s.fallbacks, 0);
+        }
     }
 }

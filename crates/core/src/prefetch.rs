@@ -120,27 +120,117 @@ impl StripeReader {
         }
         // Synchronous path (miss, failed prefetch, or prefetch disabled).
         let key = KeySchema::stripe_key(&self.path, stripe);
-        let data = self.pool.get(&key).map_err(|e| match e {
-            // A missing stripe under a finalized size record means the
-            // key space was tampered with.
-            MemFsError::Storage(memfs_memkv::KvError::NotFound) => MemFsError::CorruptMetadata(
-                format!("stripe {stripe} of {} missing from store", self.path),
-            ),
-            other => other,
-        })?;
+        let data = self
+            .pool
+            .get(&key)
+            .map_err(|e| self.stripe_err(stripe, e))?;
         if self.window > 0 {
             self.insert_ready(stripe, data.clone());
         }
         Ok(data)
     }
 
+    /// A missing stripe under a finalized size record means the key space
+    /// was tampered with.
+    fn stripe_err(&self, stripe: u64, e: MemFsError) -> MemFsError {
+        match e {
+            MemFsError::Storage(memfs_memkv::KvError::NotFound) => MemFsError::CorruptMetadata(
+                format!("stripe {stripe} of {} missing from store", self.path),
+            ),
+            other => other,
+        }
+    }
+
+    /// Fetch several stripes as one batched, fanned-out operation,
+    /// returned in input order.
+    ///
+    /// Cache-aware: already-resident stripes are served locally, stripes
+    /// another thread is prefetching are waited on, and only the true
+    /// misses travel — as a single [`ServerPool::get_many`] whose
+    /// per-server batches go out in parallel. This is what makes a large
+    /// `read_at` span cost one parallel round trip instead of one
+    /// sequential round trip per stripe.
+    pub fn read_stripes(&self, stripes: &[u64]) -> MemFsResult<Vec<Bytes>> {
+        if self.window == 0 {
+            // Cache disabled: straight batched fetch.
+            let keys: Vec<Bytes> = stripes
+                .iter()
+                .map(|&s| Bytes::from(KeySchema::stripe_key(&self.path, s)))
+                .collect();
+            return self
+                .pool
+                .get_many(&keys)
+                .into_iter()
+                .zip(stripes)
+                .map(|(r, &s)| r.map_err(|e| self.stripe_err(s, e)))
+                .collect();
+        }
+        let mut out: Vec<Option<Bytes>> = vec![None; stripes.len()];
+        let mut misses: Vec<(usize, u64)> = Vec::new();
+        let mut waiting: Vec<(usize, u64)> = Vec::new();
+        {
+            let mut state = self.cache.state.lock();
+            for (i, &s) in stripes.iter().enumerate() {
+                match state.slots.get(&s) {
+                    Some(Slot::Ready(data)) => out[i] = Some(data.clone()),
+                    Some(Slot::InFlight) => waiting.push((i, s)),
+                    Some(Slot::Failed) | None => {
+                        // Claim the slot so concurrent readers/prefetchers
+                        // wait on our batch instead of fetching twice.
+                        state.slots.insert(s, Slot::InFlight);
+                        misses.push((i, s));
+                    }
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let keys: Vec<Bytes> = misses
+                .iter()
+                .map(|&(_, s)| Bytes::from(KeySchema::stripe_key(&self.path, s)))
+                .collect();
+            let results = self.pool.get_many(&keys);
+            let mut first_err: Option<MemFsError> = None;
+            let mut state = self.cache.state.lock();
+            // Every claimed slot must be resolved to Ready or Failed even
+            // on error, or waiters would hang on InFlight forever.
+            for (&(i, s), r) in misses.iter().zip(results) {
+                match r {
+                    Ok(data) => {
+                        self.insert_ready_locked(&mut state, s, data.clone());
+                        out[i] = Some(data);
+                    }
+                    Err(e) => {
+                        state.slots.insert(s, Slot::Failed);
+                        if first_err.is_none() {
+                            first_err = Some(self.stripe_err(s, e));
+                        }
+                    }
+                }
+            }
+            drop(state);
+            self.cache.cv.notify_all();
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        // `fetch` waits out the in-flight slots (and retries synchronously
+        // if the owning fetch failed or the slot got evicted meanwhile).
+        for (i, s) in waiting {
+            out[i] = Some(self.fetch(s)?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|d| d.expect("every stripe classified exactly once"))
+            .collect())
+    }
+
     /// Queue background fetches for stripes `stripe+1 ..= stripe+window`.
     ///
-    /// The window travels as **per-server multi-gets**: pending stripe
-    /// keys are grouped by owning server and each group becomes one
-    /// worker job issuing a single batched [`ServerPool::get_many`], so a
-    /// window of `w` stripes costs at most one round trip per server
-    /// (fetched in parallel across the pool) instead of `w` round trips.
+    /// The whole window travels as **one** worker job issuing a single
+    /// batched [`ServerPool::get_many`]; the pool groups the keys by
+    /// owning server and fans the per-server multi-gets out in parallel,
+    /// so a window of `w` stripes over `n` servers costs one round trip
+    /// per server — issued concurrently, `max(server RTT)` total.
     fn prefetch_ahead(&self, stripe: u64) {
         let Some(workers) = &self.workers else {
             return;
@@ -172,43 +262,39 @@ impl StripeReader {
         if pending.is_empty() {
             return;
         }
-        let mut groups: HashMap<usize, Vec<u64>> = HashMap::new();
-        for &next in &pending {
-            let key = KeySchema::stripe_key(&self.path, next);
-            groups
-                .entry(self.pool.server_for(&key).0)
-                .or_default()
-                .push(next);
-        }
-        for (_server, stripes) in groups {
-            let keys: Vec<Vec<u8>> = stripes
-                .iter()
-                .map(|&s| KeySchema::stripe_key(&self.path, s))
-                .collect();
-            let pool = Arc::clone(&self.pool);
-            let cache = Arc::clone(&self.cache);
-            workers.execute(move || {
-                let results = pool.get_many(&keys);
-                let mut state = cache.state.lock();
-                for (&s, result) in stripes.iter().zip(results) {
-                    match result {
-                        Ok(data) => {
-                            state.slots.insert(s, Slot::Ready(data));
-                            state.order.push_back(s);
-                        }
-                        Err(_) => {
-                            state.slots.insert(s, Slot::Failed);
-                        }
+        let keys: Vec<Bytes> = pending
+            .iter()
+            .map(|&s| Bytes::from(KeySchema::stripe_key(&self.path, s)))
+            .collect();
+        let pool = Arc::clone(&self.pool);
+        let cache = Arc::clone(&self.cache);
+        workers.execute(move || {
+            let results = pool.get_many(&keys);
+            let mut state = cache.state.lock();
+            for (&s, result) in pending.iter().zip(results) {
+                match result {
+                    Ok(data) => {
+                        state.slots.insert(s, Slot::Ready(data));
+                        state.order.push_back(s);
+                    }
+                    Err(_) => {
+                        state.slots.insert(s, Slot::Failed);
                     }
                 }
-                cache.cv.notify_all();
-            });
-        }
+            }
+            cache.cv.notify_all();
+        });
     }
 
     /// Insert a synchronously fetched stripe, evicting FIFO if needed.
     fn insert_ready(&self, stripe: u64, data: Bytes) {
         let mut state = self.cache.state.lock();
+        self.insert_ready_locked(&mut state, stripe, data);
+        drop(state);
+        self.cache.cv.notify_all();
+    }
+
+    fn insert_ready_locked(&self, state: &mut CacheState, stripe: u64, data: Bytes) {
         while state.order.len() >= self.cache.capacity {
             if let Some(victim) = state.order.pop_front() {
                 // Never evict the stripe we are inserting.
@@ -221,7 +307,6 @@ impl StripeReader {
         }
         state.slots.insert(stripe, Slot::Ready(data));
         state.order.push_back(stripe);
-        self.cache.cv.notify_all();
     }
 
     /// Number of stripes currently cached or in flight (diagnostic).
@@ -236,7 +321,7 @@ mod tests {
     use crate::config::DistributorKind;
     use memfs_memkv::{KvClient, LocalClient, Store, StoreConfig};
 
-    fn setup(file_size: u64, stripe: usize) -> (Arc<ServerPool>, Vec<u8>) {
+    fn setup(file_size: u64, stripe: usize) -> (Arc<ServerPool>, Bytes) {
         let clients: Vec<Arc<dyn KvClient>> = (0..4)
             .map(|_| {
                 Arc::new(LocalClient::new(Arc::new(Store::new(
@@ -245,16 +330,14 @@ mod tests {
             })
             .collect();
         let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
-        let data: Vec<u8> = (0..file_size).map(|i| (i % 241) as u8).collect();
+        let data = Bytes::from((0..file_size).map(|i| (i % 241) as u8).collect::<Vec<u8>>());
         let layout = StripeLayout::new(stripe);
         for s in 0..layout.stripe_count(file_size) {
             let start = (s as usize) * stripe;
             let end = (start + stripe).min(file_size as usize);
-            pool.set(
-                &KeySchema::stripe_key("/f", s),
-                Bytes::copy_from_slice(&data[start..end]),
-            )
-            .unwrap();
+            // Zero-copy fill: every stripe shares the one backing buffer.
+            pool.set(&KeySchema::stripe_key("/f", s), data.slice(start..end))
+                .unwrap();
         }
         (pool, data)
     }
@@ -289,7 +372,7 @@ mod tests {
         for s in 0..10 {
             out.extend_from_slice(&r.stripe(s).unwrap());
         }
-        assert_eq!(out, data);
+        assert_eq!(out, data.as_ref());
     }
 
     #[test]
@@ -376,6 +459,50 @@ mod tests {
                 "server {i} batch count"
             );
         }
+    }
+
+    #[test]
+    fn read_stripes_returns_input_order_and_uses_cache() {
+        let (pool, data) = setup(2000, 100);
+        let r = reader(&pool, 2000, 100, 4);
+        // Mixed cold/warm: stripe 0 warms the cache first.
+        r.stripe(0).unwrap();
+        let got = r.read_stripes(&[3, 0, 17, 9]).unwrap();
+        for (&s, d) in [3u64, 0, 17, 9].iter().zip(&got) {
+            let start = (s as usize) * 100;
+            assert_eq!(d.as_ref(), &data[start..start + 100], "stripe {s}");
+        }
+        // A second batched read of the same stripes is fully cache-served.
+        let again = r.read_stripes(&[3, 0, 17, 9]).unwrap();
+        assert_eq!(got, again);
+    }
+
+    #[test]
+    fn read_stripes_without_cache_is_one_parallel_fetch() {
+        let (pool, data) = setup(1000, 100);
+        let r = reader(&pool, 1000, 100, 0);
+        let stripes: Vec<u64> = (0..10).collect();
+        let got = r.read_stripes(&stripes).unwrap();
+        let mut flat = Vec::new();
+        for d in got {
+            flat.extend_from_slice(&d);
+        }
+        assert_eq!(flat, data.as_ref());
+        assert_eq!(r.cached_stripes(), 0);
+    }
+
+    #[test]
+    fn read_stripes_missing_stripe_is_corrupt_metadata() {
+        let (pool, _) = setup(1000, 100);
+        pool.delete_quiet(&KeySchema::stripe_key("/f", 5)).unwrap();
+        let r = reader(&pool, 1000, 100, 4);
+        assert!(matches!(
+            r.read_stripes(&[2, 5, 7]),
+            Err(MemFsError::CorruptMetadata(_))
+        ));
+        // The failed slot must not wedge later readers: a retry of the
+        // healthy stripes succeeds.
+        assert_eq!(r.read_stripes(&[2, 7]).unwrap().len(), 2);
     }
 
     #[test]

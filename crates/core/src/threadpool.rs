@@ -6,6 +6,7 @@
 //! signalling is the submitter's business (the write buffer uses a
 //! counter + condvar, the prefetcher a shared cache slot).
 
+use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
@@ -77,6 +78,45 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Completion barrier for a known number of pooled jobs: the submitter
+/// creates it with the job count, each job calls [`WaitGroup::done`] as it
+/// finishes, and [`WaitGroup::wait`] blocks until the count reaches zero.
+///
+/// This is the fan-out dispatcher's rendezvous: per-server batches are
+/// queued on the pool, the caller runs one batch itself, then waits here
+/// for the rest — so a window costs `max(server RTT)`, not the sum.
+pub struct WaitGroup {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WaitGroup {
+    /// A group expecting `n` completions.
+    pub fn new(n: usize) -> Self {
+        WaitGroup {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Record one completion.
+    pub fn done(&self) {
+        let mut n = self.remaining.lock().expect("waitgroup lock");
+        *n = n.checked_sub(1).expect("more done() calls than group size");
+        if *n == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every expected completion has been recorded.
+    pub fn wait(&self) {
+        let mut n = self.remaining.lock().expect("waitgroup lock");
+        while *n > 0 {
+            n = self.cv.wait(n).expect("waitgroup wait");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +179,28 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ThreadPool::new(0, "bad");
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_all_done() {
+        let pool = ThreadPool::new(4, "wg");
+        let wg = Arc::new(WaitGroup::new(8));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let wg = Arc::clone(&wg);
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                wg.done();
+            });
+        }
+        wg.wait();
+        // wait() returning proves every job ran, before the pool drops.
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn waitgroup_of_zero_never_blocks() {
+        WaitGroup::new(0).wait();
     }
 }

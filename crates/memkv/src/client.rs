@@ -39,10 +39,13 @@ pub trait KvClient: Send + Sync {
     /// per-key information); per-key misses surface as inner
     /// [`KvError::NotFound`](crate::error::KvError::NotFound).
     ///
+    /// Keys travel as [`Bytes`] so the fan-out dispatcher's per-server
+    /// batches are assembled by reference-count bumps, never key copies.
+    ///
     /// The default loops over [`KvClient::get`]; batching transports
     /// override it ([`LocalClient`] dispatches one engine batch,
     /// [`crate::net::TcpClient`] sends pipelined multi-key `get` frames).
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         Ok(keys.iter().map(|k| self.get(k)).collect())
     }
     /// Store several key/value pairs, returning one result per pair in
@@ -50,7 +53,7 @@ pub trait KvClient: Send + Sync {
     ///
     /// The default loops over [`KvClient::set`]; pipelining transports
     /// override it to write every frame before reading any reply.
-    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+    fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         Ok(items.iter().map(|(k, v)| self.set(k, v.clone())).collect())
     }
     /// Whether a key exists (no read traffic accounted).
@@ -104,7 +107,7 @@ impl KvClient for LocalClient {
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
         self.store.get(key)
     }
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         Ok(self.store.get_many(keys))
     }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
@@ -209,7 +212,7 @@ impl<C: KvClient> KvClient for ThrottledClient<C> {
         self.delay(out.as_ref().map(|v| v.len()).unwrap_or(0));
         out
     }
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         // One round trip for the whole batch: a single latency charge plus
         // bandwidth on the combined payload — the cost model that makes
         // batching worth doing over a shaped link.
@@ -221,7 +224,7 @@ impl<C: KvClient> KvClient for ThrottledClient<C> {
         self.delay(total);
         Ok(out)
     }
-    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+    fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         let total: usize = items.iter().map(|(_, v)| v.len()).sum();
         self.delay(total);
         self.inner.set_many(items)
@@ -298,11 +301,11 @@ impl<C: KvClient> KvClient for FailableClient<C> {
         self.check()?;
         self.inner.get(key)
     }
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         self.check()?;
         self.inner.get_many(keys)
     }
-    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+    fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         self.check()?;
         self.inner.set_many(items)
     }
@@ -335,10 +338,10 @@ impl<C: KvClient + ?Sized> KvClient for Arc<C> {
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
         (**self).get(key)
     }
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         (**self).get_many(keys)
     }
-    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+    fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         (**self).set_many(items)
     }
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
@@ -375,14 +378,18 @@ mod tests {
     fn get_many_and_set_many_defaults() {
         let c = local();
         let items = vec![
-            (b"a".to_vec(), Bytes::from_static(b"1")),
-            (b"b".to_vec(), Bytes::from_static(b"2")),
+            (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+            (Bytes::from_static(b"b"), Bytes::from_static(b"2")),
         ];
         for r in c.set_many(&items).unwrap() {
             r.unwrap();
         }
         let out = c
-            .get_many(&[b"a".to_vec(), b"missing".to_vec(), b"b".to_vec()])
+            .get_many(&[
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"missing"),
+                Bytes::from_static(b"b"),
+            ])
             .unwrap();
         assert_eq!(out[0].as_ref().unwrap().as_ref(), b"1");
         assert!(out[1].is_err());
@@ -396,8 +403,10 @@ mod tests {
         let c = FailableClient::new(local());
         c.set(b"k", Bytes::from_static(b"v")).unwrap();
         c.set_down(true);
-        assert!(c.get_many(&[b"k".to_vec()]).is_err());
-        assert!(c.set_many(&[(b"k".to_vec(), Bytes::new())]).is_err());
+        assert!(c.get_many(&[Bytes::from_static(b"k")]).is_err());
+        assert!(c
+            .set_many(&[(Bytes::from_static(b"k"), Bytes::new())])
+            .is_err());
     }
 
     #[test]

@@ -547,7 +547,7 @@ impl TcpClient {
     /// Fetch a value together with its CAS token (`gets`).
     pub fn gets(&self, key: &[u8]) -> KvResult<(Bytes, u64)> {
         match self.call(&Request::Gets {
-            keys: vec![key.to_vec()],
+            keys: vec![Bytes::copy_from_slice(key)],
         })? {
             Response::Value {
                 value,
@@ -562,7 +562,7 @@ impl TcpClient {
     /// Compare-and-swap: replace `key` only if `token` is still current.
     pub fn cas(&self, key: &[u8], value: Bytes, token: u64) -> KvResult<()> {
         match self.call(&Request::Cas {
-            key: key.to_vec(),
+            key: Bytes::copy_from_slice(key),
             value,
             token,
         })? {
@@ -812,7 +812,9 @@ fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<ParseStep> {
             let frame = Bytes::from(frame_vec);
             raw.into_iter()
                 .map(|r| ValueItem {
-                    key: frame[r.key.0..r.key.1].to_vec(),
+                    // Keys ride the same shared frame as the values: a
+                    // refcount bump each, no per-key allocation.
+                    key: frame.slice(r.key.0..r.key.1),
                     value: frame.slice(r.data.0..r.data.1),
                     cas: r.cas,
                 })
@@ -821,7 +823,7 @@ fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<ParseStep> {
             let items = raw
                 .into_iter()
                 .map(|r| ValueItem {
-                    key: buf[r.key.0..r.key.1].to_vec(),
+                    key: Bytes::copy_from_slice(&buf[r.key.0..r.key.1]),
                     value: Bytes::copy_from_slice(&buf[r.data.0..r.data.1]),
                     cas: r.cas,
                 })
@@ -854,7 +856,7 @@ impl KvClient for TcpClient {
 
     fn set(&self, key: &[u8], value: Bytes) -> KvResult<()> {
         match self.call(&Request::Set {
-            key: key.to_vec(),
+            key: Bytes::copy_from_slice(key),
             value,
         })? {
             Response::Stored => Ok(()),
@@ -864,7 +866,7 @@ impl KvClient for TcpClient {
 
     fn add(&self, key: &[u8], value: Bytes) -> KvResult<()> {
         match self.call(&Request::Add {
-            key: key.to_vec(),
+            key: Bytes::copy_from_slice(key),
             value,
         })? {
             Response::Stored => Ok(()),
@@ -875,7 +877,7 @@ impl KvClient for TcpClient {
 
     fn get(&self, key: &[u8]) -> KvResult<Bytes> {
         match self.call(&Request::Get {
-            keys: vec![key.to_vec()],
+            keys: vec![Bytes::copy_from_slice(key)],
         })? {
             Response::Value { value, .. } => Ok(value),
             Response::End => Err(KvError::NotFound),
@@ -883,14 +885,15 @@ impl KvClient for TcpClient {
         }
     }
 
-    fn get_many(&self, keys: &[Vec<u8>]) -> KvResult<Vec<KvResult<Bytes>>> {
+    fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
         // Pack keys into multi-key `get` lines (bounded by both key count
         // and line length), pipelining the chunks on one connection.
+        // `Bytes` keys make every chunk push a refcount bump, not a copy.
         let mut reqs: Vec<Request> = Vec::new();
-        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut chunk: Vec<Bytes> = Vec::new();
         let mut line_len = "get".len();
         for key in keys {
             let full = chunk.len() >= self.config.max_batch_keys
@@ -905,7 +908,7 @@ impl KvClient for TcpClient {
             chunk.push(key.clone());
         }
         reqs.push(Request::Get { keys: chunk });
-        let mut hits: HashMap<Vec<u8>, Bytes> = HashMap::with_capacity(keys.len());
+        let mut hits: HashMap<Bytes, Bytes> = HashMap::with_capacity(keys.len());
         for resp in self.exchange(&reqs)? {
             match resp {
                 Response::End => {}
@@ -922,11 +925,11 @@ impl KvClient for TcpClient {
         }
         Ok(keys
             .iter()
-            .map(|k| hits.get(k.as_slice()).cloned().ok_or(KvError::NotFound))
+            .map(|k| hits.get(k).cloned().ok_or(KvError::NotFound))
             .collect())
     }
 
-    fn set_many(&self, items: &[(Vec<u8>, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+    fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         if items.is_empty() {
             return Ok(Vec::new());
         }
@@ -949,7 +952,7 @@ impl KvClient for TcpClient {
 
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
         match self.call(&Request::Append {
-            key: key.to_vec(),
+            key: Bytes::copy_from_slice(key),
             value: Bytes::copy_from_slice(suffix),
         })? {
             Response::Stored => Ok(()),
@@ -959,7 +962,9 @@ impl KvClient for TcpClient {
     }
 
     fn delete(&self, key: &[u8]) -> KvResult<()> {
-        match self.call(&Request::Delete { key: key.to_vec() })? {
+        match self.call(&Request::Delete {
+            key: Bytes::copy_from_slice(key),
+        })? {
             Response::Deleted => Ok(()),
             Response::NotFound => Err(KvError::NotFound),
             other => Err(response_error(other)),
@@ -1118,7 +1123,11 @@ mod tests {
         client.set(b"a", Bytes::from_static(b"1")).unwrap();
         client.set(b"c", Bytes::from_static(b"3")).unwrap();
         let out = client
-            .get_many(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .get_many(&[
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"c"),
+            ])
             .unwrap();
         assert_eq!(out[0].as_ref().unwrap().as_ref(), b"1");
         assert!(matches!(out[1], Err(KvError::NotFound)));
@@ -1132,7 +1141,9 @@ mod tests {
         let server = spawn_server();
         let client = TcpClient::connect(server.addr()).unwrap();
         assert!(client.get_many(&[]).unwrap().is_empty());
-        let out = client.get_many(&[b"x".to_vec(), b"y".to_vec()]).unwrap();
+        let out = client
+            .get_many(&[Bytes::from_static(b"x"), Bytes::from_static(b"y")])
+            .unwrap();
         assert!(out.iter().all(|r| matches!(r, Err(KvError::NotFound))));
     }
 
@@ -1147,8 +1158,8 @@ mod tests {
             },
         )
         .unwrap();
-        let keys: Vec<Vec<u8>> = (0..100).map(|i| format!("k{i}").into_bytes()).collect();
-        let items: Vec<(Vec<u8>, Bytes)> = keys
+        let keys: Vec<Bytes> = (0..100).map(|i| Bytes::from(format!("k{i}"))).collect();
+        let items: Vec<(Bytes, Bytes)> = keys
             .iter()
             .map(|k| {
                 (
@@ -1182,10 +1193,10 @@ mod tests {
             },
         )
         .unwrap();
-        let items: Vec<(Vec<u8>, Bytes)> = (0..50)
+        let items: Vec<(Bytes, Bytes)> = (0..50)
             .map(|i| {
                 (
-                    format!("s{i}").into_bytes(),
+                    Bytes::from(format!("s{i}")),
                     Bytes::from(vec![i as u8; 100]),
                 )
             })
@@ -1241,7 +1252,7 @@ mod tests {
         client.set(b"b", Bytes::from_static(b"2")).unwrap();
         let resp = client
             .call(&Request::Gets {
-                keys: vec![b"a".to_vec(), b"b".to_vec()],
+                keys: vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")],
             })
             .unwrap();
         let Response::Values(items) = resp else {

@@ -30,35 +30,39 @@ use crate::error::{KvError, KvResult};
 use crate::stats::StatsSnapshot;
 
 /// A parsed client request.
+///
+/// Keys are [`Bytes`] so a client batching thousands of stripe keys can
+/// build request frames by reference-count bumps instead of deep copies —
+/// the hot path of the fan-out dispatcher's per-server batches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     Set {
-        key: Vec<u8>,
+        key: Bytes,
         value: Bytes,
     },
     Add {
-        key: Vec<u8>,
+        key: Bytes,
         value: Bytes,
     },
     Append {
-        key: Vec<u8>,
+        key: Bytes,
         value: Bytes,
     },
     Cas {
-        key: Vec<u8>,
+        key: Bytes,
         value: Bytes,
         token: u64,
     },
     /// One or more keys; replies carry one `VALUE` block per hit.
     Get {
-        keys: Vec<Vec<u8>>,
+        keys: Vec<Bytes>,
     },
     /// Like `Get` but replies include each value's CAS token.
     Gets {
-        keys: Vec<Vec<u8>>,
+        keys: Vec<Bytes>,
     },
     Delete {
-        key: Vec<u8>,
+        key: Bytes,
     },
     FlushAll,
     Stats,
@@ -82,7 +86,7 @@ pub enum Response {
     /// `VALUE` + `END` for a single-key `get`; `cas` is included for
     /// `gets`.
     Value {
-        key: Vec<u8>,
+        key: Bytes,
         value: Bytes,
         cas: Option<u64>,
     },
@@ -102,10 +106,12 @@ pub enum Response {
     ClientError(String),
 }
 
-/// One `VALUE` block of a (multi-)get reply.
+/// One `VALUE` block of a (multi-)get reply. The key is [`Bytes`] so the
+/// client's zero-copy frame parser can hand out slices of the receive
+/// buffer for keys as well as values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueItem {
-    pub key: Vec<u8>,
+    pub key: Bytes,
     pub value: Bytes,
     pub cas: Option<u64>,
 }
@@ -160,7 +166,7 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
 
     // Storage commands share the `<key> <flags> <exptime> <bytes> [cas]`
     // shape followed by a data block.
-    fn parse_storage(args: &[&[u8]], with_cas: bool) -> KvResult<(Vec<u8>, usize, u64)> {
+    fn parse_storage(args: &[&[u8]], with_cas: bool) -> KvResult<(Bytes, usize, u64)> {
         let expected = if with_cas { 5 } else { 4 };
         if args.len() != expected {
             return Err(KvError::Protocol(format!(
@@ -168,7 +174,7 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
                 args.len()
             )));
         }
-        let key = args[0].to_vec();
+        let key = Bytes::copy_from_slice(args[0]);
         let _flags = parse_u64(args[1])?;
         let _exptime = parse_u64(args[2])?;
         let bytes = parse_u64(args[3])? as usize;
@@ -201,7 +207,7 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
             if args.is_empty() {
                 return Err(KvError::Protocol("get takes at least one key".into()));
             }
-            let keys: Vec<Vec<u8>> = args.iter().map(|k| k.to_vec()).collect();
+            let keys: Vec<Bytes> = args.iter().map(|k| Bytes::copy_from_slice(k)).collect();
             let req = if verb == b"get" {
                 Request::Get { keys }
             } else {
@@ -215,7 +221,7 @@ pub fn parse_request(buf: &[u8]) -> KvResult<Parsed> {
             }
             Ok(Parsed::Done(
                 Request::Delete {
-                    key: args[0].to_vec(),
+                    key: Bytes::copy_from_slice(args[0]),
                 },
                 after_line,
             ))
@@ -270,7 +276,7 @@ pub fn write_request_line<'r>(req: &'r Request, out: &mut Vec<u8>) -> Option<&'r
         out.extend_from_slice(b"\r\n");
         Some(value)
     }
-    fn multi_key(out: &mut Vec<u8>, verb: &[u8], keys: &[Vec<u8>]) {
+    fn multi_key(out: &mut Vec<u8>, verb: &[u8], keys: &[Bytes]) {
         out.extend_from_slice(verb);
         for key in keys {
             out.push(b' ');
@@ -456,7 +462,7 @@ mod tests {
     #[test]
     fn parse_set_round_trips_through_encode() {
         let req = Request::Set {
-            key: b"file#0".to_vec(),
+            key: Bytes::from_static(b"file#0"),
             value: Bytes::from_static(b"hello world"),
         };
         let wire = encode_request(&req);
@@ -469,31 +475,37 @@ mod tests {
     fn parse_all_verbs_round_trip() {
         let reqs = vec![
             Request::Add {
-                key: b"k".to_vec(),
+                key: Bytes::from_static(b"k"),
                 value: Bytes::from_static(b"v"),
             },
             Request::Append {
-                key: b"dir".to_vec(),
+                key: Bytes::from_static(b"dir"),
                 value: Bytes::from_static(b"+x"),
             },
             Request::Cas {
-                key: b"k".to_vec(),
+                key: Bytes::from_static(b"k"),
                 value: Bytes::from_static(b"v2"),
                 token: 42,
             },
             Request::Get {
-                keys: vec![b"k".to_vec()],
+                keys: vec![Bytes::from_static(b"k")],
             },
             Request::Get {
-                keys: vec![b"k1".to_vec(), b"k2".to_vec(), b"k3".to_vec()],
+                keys: vec![
+                    Bytes::from_static(b"k1"),
+                    Bytes::from_static(b"k2"),
+                    Bytes::from_static(b"k3"),
+                ],
             },
             Request::Gets {
-                keys: vec![b"k".to_vec()],
+                keys: vec![Bytes::from_static(b"k")],
             },
             Request::Gets {
-                keys: vec![b"a".to_vec(), b"b".to_vec()],
+                keys: vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")],
             },
-            Request::Delete { key: b"k".to_vec() },
+            Request::Delete {
+                key: Bytes::from_static(b"k"),
+            },
             Request::FlushAll,
             Request::Keys,
             Request::Stats,
@@ -525,11 +537,11 @@ mod tests {
     #[test]
     fn pipelined_requests_parse_sequentially() {
         let mut wire = encode_request(&Request::Set {
-            key: b"a".to_vec(),
+            key: Bytes::from_static(b"a"),
             value: Bytes::from_static(b"1"),
         });
         wire.extend(encode_request(&Request::Get {
-            keys: vec![b"a".to_vec()],
+            keys: vec![Bytes::from_static(b"a")],
         }));
         let (r1, n1) = done(&wire);
         assert!(matches!(r1, Request::Set { .. }));
@@ -537,7 +549,7 @@ mod tests {
         assert_eq!(
             r2,
             Request::Get {
-                keys: vec![b"a".to_vec()]
+                keys: vec![Bytes::from_static(b"a")]
             }
         );
     }
@@ -546,7 +558,7 @@ mod tests {
     fn binary_safe_values() {
         // Values may contain CRLF; the byte count disambiguates.
         let req = Request::Set {
-            key: b"bin".to_vec(),
+            key: Bytes::from_static(b"bin"),
             value: Bytes::from_static(b"a\r\nb\0c"),
         };
         let wire = encode_request(&req);
@@ -577,7 +589,11 @@ mod tests {
         assert_eq!(
             req,
             Request::Get {
-                keys: vec![b"s:/f#0".to_vec(), b"s:/f#1".to_vec(), b"s:/f#2".to_vec()],
+                keys: vec![
+                    Bytes::from_static(b"s:/f#0"),
+                    Bytes::from_static(b"s:/f#1"),
+                    Bytes::from_static(b"s:/f#2")
+                ],
             }
         );
         assert_eq!(n, 26);
@@ -591,12 +607,12 @@ mod tests {
     fn values_response_encodes_value_blocks_then_end() {
         let resp = Response::Values(vec![
             ValueItem {
-                key: b"a".to_vec(),
+                key: Bytes::from_static(b"a"),
                 value: Bytes::from_static(b"xx"),
                 cas: None,
             },
             ValueItem {
-                key: b"b".to_vec(),
+                key: Bytes::from_static(b"b"),
                 value: Bytes::from_static(b"yyy"),
                 cas: Some(9),
             },
@@ -618,7 +634,7 @@ mod tests {
         scratch.extend_from_slice(b"junk-from-last-call");
         scratch.clear();
         let req = Request::Set {
-            key: b"k".to_vec(),
+            key: Bytes::from_static(b"k"),
             value: Bytes::from_static(b"hello"),
         };
         let payload = write_request_line(&req, &mut scratch);
@@ -630,13 +646,13 @@ mod tests {
     #[test]
     fn encode_value_response_includes_cas_for_gets() {
         let with = encode_response(&Response::Value {
-            key: b"k".to_vec(),
+            key: Bytes::from_static(b"k"),
             value: Bytes::from_static(b"vv"),
             cas: Some(7),
         });
         assert_eq!(with, b"VALUE k 0 2 7\r\nvv\r\nEND\r\n".to_vec());
         let without = encode_response(&Response::Value {
-            key: b"k".to_vec(),
+            key: Bytes::from_static(b"k"),
             value: Bytes::from_static(b"vv"),
             cas: None,
         });

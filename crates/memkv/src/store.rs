@@ -347,9 +347,9 @@ impl Store {
     /// while `mget_ops` counts the batch itself, which is what makes
     /// "one batched request per server per prefetch window" observable
     /// from server stats.
-    pub fn get_many(&self, keys: &[Vec<u8>]) -> Vec<KvResult<Bytes>> {
+    pub fn get_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Vec<KvResult<Bytes>> {
         StoreStats::bump(&self.stats.mget_ops);
-        keys.iter().map(|k| self.get(k)).collect()
+        keys.iter().map(|k| self.get(k.as_ref())).collect()
     }
 
     /// Fetch value and CAS token together (`gets` in the wire protocol).

@@ -23,6 +23,7 @@ proptest! {
 
     #[test]
     fn storage_requests_round_trip(key in key_strategy(), value in value_strategy(), which in 0u8..4) {
+        let key = Bytes::from(key);
         let value = Bytes::from(value);
         let req = match which {
             0 => Request::Set { key, value },
@@ -46,7 +47,7 @@ proptest! {
         value in value_strategy(),
         cut_frac in 0.0f64..1.0,
     ) {
-        let req = Request::Set { key, value: Bytes::from(value) };
+        let req = Request::Set { key: Bytes::from(key), value: Bytes::from(value) };
         let wire = encode_request(&req);
         let cut = ((wire.len() as f64) * cut_frac) as usize;
         // A strict prefix must parse to NeedMore or a clean error — never
@@ -63,8 +64,8 @@ proptest! {
         k2 in key_strategy(),
         v in value_strategy(),
     ) {
-        let r1 = Request::Set { key: k1, value: Bytes::from(v) };
-        let r2 = Request::Get { keys: vec![k2] };
+        let r1 = Request::Set { key: Bytes::from(k1), value: Bytes::from(v) };
+        let r2 = Request::Get { keys: vec![Bytes::from(k2)] };
         let mut wire = encode_request(&r1);
         wire.extend(encode_request(&r2));
         let Parsed::Done(p1, n1) = parse_request(&wire).unwrap() else {
@@ -90,7 +91,7 @@ proptest! {
         value in value_strategy(),
         cas in proptest::option::of(any::<u64>()),
     ) {
-        let resp = Response::Value { key: key.clone(), value: Bytes::from(value.clone()), cas };
+        let resp = Response::Value { key: Bytes::from(key), value: Bytes::from(value.clone()), cas };
         let wire = encode_response(&resp);
         // Framing invariants: starts with VALUE, embeds the payload, ends
         // with END.

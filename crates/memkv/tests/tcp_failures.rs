@@ -133,7 +133,7 @@ fn requests_after_server_shutdown_fail_cleanly() {
         assert!(matches!(client.get(b"k"), Err(KvError::Io(_))));
     }
     assert!(matches!(
-        client.get_many(&[b"k".to_vec(), b"x".to_vec()]),
+        client.get_many(&[Bytes::from_static(b"k"), Bytes::from_static(b"x")]),
         Err(KvError::Io(_))
     ));
 }
@@ -165,9 +165,9 @@ fn pipelined_batch_recovers_past_a_failed_item() {
     )
     .unwrap();
     let items = vec![
-        (b"a".to_vec(), Bytes::from(vec![1u8; 100])),
-        (b"big".to_vec(), Bytes::from(vec![2u8; 4096])), // over the limit
-        (b"c".to_vec(), Bytes::from(vec![3u8; 100])),
+        (Bytes::from_static(b"a"), Bytes::from(vec![1u8; 100])),
+        (Bytes::from_static(b"big"), Bytes::from(vec![2u8; 4096])), // over the limit
+        (Bytes::from_static(b"c"), Bytes::from(vec![3u8; 100])),
     ];
     let results = client.set_many(&items).unwrap();
     assert!(results[0].is_ok());
@@ -202,7 +202,9 @@ fn client_reconnects_after_connection_drop() {
 
     proxy.drop_connections();
     // Batches replay too, as long as every frame is idempotent.
-    let out = client.get_many(&[b"k".to_vec(), b"nope".to_vec()]).unwrap();
+    let out = client
+        .get_many(&[Bytes::from_static(b"k"), Bytes::from_static(b"nope")])
+        .unwrap();
     assert_eq!(out[0].as_ref().unwrap().as_ref(), b"v1");
     assert!(matches!(out[1], Err(KvError::NotFound)));
 

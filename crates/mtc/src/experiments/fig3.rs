@@ -137,8 +137,12 @@ pub fn run_fig3b(file_bytes: usize, shaping: Shaping) -> Vec<Fig3bRow> {
             nobuf.write_buffer_size = nobuf.stripe_size;
             let (write_nobuf_bw, _) = measure(nobuf, shaped_servers(4, shaping), file_bytes);
 
-            // No prefetching.
-            let noprefetch = base.without_prefetch();
+            // No prefetching. The figure's baseline is a synchronous
+            // reader fetching one stripe per round trip, so pin the
+            // dispatcher to sequential dispatch — otherwise a read
+            // spanning several stripes fans out to all servers at once
+            // and the baseline stops being a no-concurrency reader.
+            let noprefetch = base.without_prefetch().with_io_parallelism(1);
             let (_, read_noprefetch_bw) =
                 measure(noprefetch, shaped_servers(4, shaping), file_bytes);
 

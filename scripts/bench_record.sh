@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Record the concurrent fan-out speedup to BENCH_pr2.json.
+#
+#   scripts/bench_record.sh
+#
+# Runs the self-timed `fanout_record` binary (same experiment as
+# `crates/bench/benches/fanout.rs`, gigabit-Ethernet-shaped in-process
+# servers) and writes its JSON report to the repo root. The binary exits
+# non-zero if the acceptance bar — parallel read bandwidth >= 2.5x the
+# sequential dispatcher at 4 servers — is missed, failing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_pr2.json"
+echo "==> cargo run --release -p memfs-bench --bin fanout_record"
+cargo run --release -p memfs-bench --bin fanout_record > "$out"
+echo "==> wrote $out"
+grep -o '"acceptance": .*' "$out"

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Repo verification gate: build, tests, formatting, lints.
 #
-#   scripts/verify.sh          # tier-1 gate + fmt + clippy
-#   scripts/verify.sh --full   # additionally run the full workspace test suite
+#   scripts/verify.sh            # tier-1 gate + fmt + clippy
+#   scripts/verify.sh --full     # additionally run the full workspace test suite
+#   scripts/verify.sh --threads  # additionally stress the concurrency tests
 #
 # Tier-1 (must stay green, see ROADMAP.md): release build + root-package
 # tests. fmt/clippy keep the tree warning-free; clippy runs with -D warnings
 # so new lints fail the gate instead of scrolling by.
+#
+# --threads repeats the fan-out/thread-pool suites with a high test-thread
+# count so the per-server dispatcher, the write drain, and the prefetcher
+# race against each other — the schedule-dependent bugs (lost wakeups,
+# in-flight gauges that never settle, out-of-order reassembly) that a
+# single quiet run can miss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +29,26 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ "${1:-}" == "--full" ]]; then
-    echo "==> cargo test --workspace -q (full)"
-    cargo test --workspace -q
-fi
+for arg in "$@"; do
+    case "$arg" in
+    --full)
+        echo "==> cargo test --workspace -q (full)"
+        cargo test --workspace -q
+        ;;
+    --threads)
+        echo "==> stressed concurrency pass (RUST_TEST_THREADS=16, 5 rounds)"
+        for round in 1 2 3 4 5; do
+            echo "  -- round $round"
+            RUST_TEST_THREADS=16 cargo test -q -p memfs-core --test fanout
+            RUST_TEST_THREADS=16 cargo test -q -p memfs-core --lib -- \
+                threadpool:: pool:: prefetch:: bufwrite::
+        done
+        ;;
+    *)
+        echo "unknown option: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "verify: OK"
