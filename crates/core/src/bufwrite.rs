@@ -1,8 +1,8 @@
 //! The write-buffering protocol (paper §3.2.2).
 //!
-//! Writes land in a per-file buffer; whenever a full stripe accumulates it
-//! is handed to the shared writer thread pool, which `set`s it on the
-//! owning storage server asynchronously. The buffer bounds in-flight data
+//! Writes land in a per-file buffer; whenever a full batch of stripes
+//! accumulates it drains through the mount's shared I/O engine, which
+//! `set`s it on the owning storage servers asynchronously. The buffer bounds in-flight data
 //! (8 MiB by default — the paper's per-open-file cache), applying
 //! backpressure to the writer when the network cannot keep up.
 //! "Whenever an application calls close(), or flush(), our file system
@@ -17,7 +17,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{MemFsError, MemFsResult};
 use crate::layout::StripeLayout;
 use crate::pool::ServerPool;
-use crate::threadpool::ThreadPool;
+use crate::threadpool::IoEngine;
 
 /// Shared completion state between the buffer and its in-flight jobs.
 struct Shared {
@@ -37,7 +37,7 @@ pub struct WriteBuffer {
     path: String,
     layout: StripeLayout,
     pool: Arc<ServerPool>,
-    workers: Arc<ThreadPool>,
+    engine: Arc<IoEngine>,
     current: BytesMut,
     /// Completed stripes waiting to travel as one batched `set_many`.
     batch: Vec<(Bytes, Bytes)>,
@@ -50,8 +50,9 @@ pub struct WriteBuffer {
 
 impl WriteBuffer {
     /// Create a writer for `path` striping with `layout`, draining through
-    /// `workers` onto `pool`, with at most `max_inflight` stripes in the
-    /// air (the 8 MiB buffer divided by the stripe size).
+    /// the mount's shared `engine` onto `pool`, with at most
+    /// `max_inflight` stripes in the air (the 8 MiB buffer divided by the
+    /// stripe size).
     ///
     /// Completed stripes accumulate into groups of `batch_stripes` before
     /// a drain job is submitted; each job issues per-server pipelined
@@ -61,7 +62,7 @@ impl WriteBuffer {
         path: String,
         layout: StripeLayout,
         pool: Arc<ServerPool>,
-        workers: Arc<ThreadPool>,
+        engine: Arc<IoEngine>,
         max_inflight: usize,
         batch_stripes: usize,
     ) -> Self {
@@ -70,7 +71,7 @@ impl WriteBuffer {
             current: BytesMut::with_capacity(layout.stripe_size()),
             layout,
             pool,
-            workers,
+            engine,
             batch: Vec::new(),
             batch_stripes: batch_stripes.clamp(1, max_inflight.max(1)),
             next_stripe: 0,
@@ -156,11 +157,12 @@ impl WriteBuffer {
         Ok(())
     }
 
-    /// Hand the pending batch to the writer pool as one job. The job
-    /// issues one pipelined `set_many` per owning server — the pool fans
-    /// those per-server batches (including replica copies) out in
-    /// parallel, so a batch of `b` stripes costs one *concurrent* round
-    /// trip per server rather than `b` sequential round trips.
+    /// Hand the pending batch to the shared engine as one drain job. The
+    /// job issues one pipelined `set_many` per owning server — the pool
+    /// fans those per-server batches (including replica copies) out in
+    /// parallel on the same engine (the nested fan-out the helping wait
+    /// exists for), so a batch of `b` stripes costs one *concurrent*
+    /// round trip per server rather than `b` sequential round trips.
     fn submit_batch(&mut self) -> MemFsResult<()> {
         if self.batch.is_empty() {
             return Ok(());
@@ -182,7 +184,7 @@ impl WriteBuffer {
 
         let pool = Arc::clone(&self.pool);
         let shared = Arc::clone(&self.shared);
-        self.workers.execute(move || {
+        self.engine.execute(move || {
             let result = pool.set_many(&items);
             let mut state = shared.state.lock();
             state.inflight -= n;
@@ -227,7 +229,7 @@ mod tests {
     #[test]
     fn writes_stripe_and_store_everything() {
         let pool = make_pool(4, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let workers = Arc::new(IoEngine::new(4, "w"));
         let layout = StripeLayout::new(100);
         let mut buf = WriteBuffer::new("/f".into(), layout, Arc::clone(&pool), workers, 4, 2);
         let data: Vec<u8> = (0..1050u32).map(|i| (i % 251) as u8).collect();
@@ -240,7 +242,7 @@ mod tests {
     #[test]
     fn partial_tail_stripe_stored_on_finish() {
         let pool = make_pool(2, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let workers = Arc::new(IoEngine::new(2, "w"));
         let mut buf = WriteBuffer::new(
             "/f".into(),
             StripeLayout::new(100),
@@ -258,7 +260,7 @@ mod tests {
     #[test]
     fn empty_file_has_no_stripes() {
         let pool = make_pool(2, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let workers = Arc::new(IoEngine::new(2, "w"));
         let mut buf = WriteBuffer::new(
             "/e".into(),
             StripeLayout::new(100),
@@ -274,7 +276,7 @@ mod tests {
     #[test]
     fn many_small_writes_accumulate() {
         let pool = make_pool(4, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let workers = Arc::new(IoEngine::new(4, "w"));
         let mut buf = WriteBuffer::new(
             "/f".into(),
             StripeLayout::new(64),
@@ -298,7 +300,7 @@ mod tests {
     fn background_storage_error_surfaces_at_finish() {
         // Tiny budget: stripes stop fitting quickly.
         let pool = make_pool(1, 300);
-        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let workers = Arc::new(IoEngine::new(2, "w"));
         let mut buf = WriteBuffer::new(
             "/f".into(),
             StripeLayout::new(100),
@@ -317,7 +319,7 @@ mod tests {
     #[test]
     fn flush_leaves_tail_writable() {
         let pool = make_pool(2, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let workers = Arc::new(IoEngine::new(2, "w"));
         let mut buf = WriteBuffer::new(
             "/f".into(),
             StripeLayout::new(100),
@@ -346,7 +348,7 @@ mod tests {
         // batch_stripes 4 over 13 completed stripes: three full batches
         // plus a partial one carrying the tail at finish.
         let pool = make_pool(4, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let workers = Arc::new(IoEngine::new(4, "w"));
         let mut buf = WriteBuffer::new(
             "/b".into(),
             StripeLayout::new(100),
@@ -370,7 +372,7 @@ mod tests {
         // in-flight budget arbitrarily if not clamped; the writer must
         // still drain correctly with the clamped batch.
         let pool = make_pool(2, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(2, "w"));
+        let workers = Arc::new(IoEngine::new(2, "w"));
         let mut buf = WriteBuffer::new(
             "/c".into(),
             StripeLayout::new(100),
@@ -389,7 +391,7 @@ mod tests {
     #[test]
     fn stripes_distribute_across_servers() {
         let pool = make_pool(8, 1 << 30);
-        let workers = Arc::new(ThreadPool::new(4, "w"));
+        let workers = Arc::new(IoEngine::new(4, "w"));
         let mut buf = WriteBuffer::new(
             "/big".into(),
             StripeLayout::new(1024),

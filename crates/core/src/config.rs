@@ -33,10 +33,12 @@ pub struct MemFsConfig {
     pub write_buffer_size: usize,
     /// Per-open-file read cache in bytes (same 8 MB figure).
     pub read_cache_size: usize,
-    /// Threads draining write buffers to the servers. Figure 3b shows
-    /// bandwidth saturating around 4-8 threads.
+    /// Write-drain jobs the mount's shared I/O engine runs concurrently.
+    /// Drain jobs fan their batches out through the same engine, so a
+    /// couple of slots suffice; Figure 3b shows bandwidth saturating well
+    /// before thread counts grow large.
     pub writer_threads: usize,
-    /// Threads prefetching stripes ahead of sequential readers.
+    /// Prefetch jobs the shared engine runs concurrently for readers.
     pub prefetch_threads: usize,
     /// How many stripes ahead of the read position to prefetch. Bounded
     /// by the read cache; 0 disables prefetching (the "Read (no
@@ -72,10 +74,10 @@ impl Default for MemFsConfig {
             stripe_size: 512 << 10,
             write_buffer_size: 8 << 20,
             read_cache_size: 8 << 20,
-            writer_threads: 4,
+            writer_threads: 2,
             prefetch_threads: 4,
             prefetch_window: 8,
-            write_batch_stripes: 4,
+            write_batch_stripes: 8,
             pool_connections: 4,
             io_parallelism: 0,
             distributor: DistributorKind::default(),
@@ -128,6 +130,29 @@ impl MemFsConfig {
     /// Max stripes the write buffer may hold in flight.
     pub fn write_buffer_stripes(&self) -> usize {
         (self.write_buffer_size / self.stripe_size).max(1)
+    }
+
+    /// Workers in the mount's shared I/O engine when it serves
+    /// `n_servers` backends: enough for one full per-server fan-out plus
+    /// the background drain/prefetch jobs that issue those fan-outs.
+    /// Bounded by the config, not by how many files are open.
+    pub fn engine_threads(&self, n_servers: usize) -> usize {
+        let fanout_width = if self.io_parallelism == 1 || n_servers <= 1 {
+            0
+        } else if self.io_parallelism == 0 {
+            n_servers
+        } else {
+            self.io_parallelism
+        };
+        let background_width = self
+            .writer_threads
+            .max(if self.prefetch_window > 0 {
+                self.prefetch_threads
+            } else {
+                0
+            })
+            .max(1);
+        fanout_width + background_width
     }
 
     /// Max stripes the read cache may hold.
@@ -193,9 +218,27 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.write_buffer_stripes(), 16);
         assert_eq!(c.read_cache_stripes(), 16);
-        assert_eq!(c.write_batch_stripes, 4);
+        assert_eq!(c.write_batch_stripes, 8);
         assert_eq!(c.pool_connections, 4);
         assert_eq!(c.io_parallelism, 0, "auto: one dispatcher per server");
+    }
+
+    #[test]
+    fn engine_threads_covers_fanout_plus_background() {
+        let c = MemFsConfig::default(); // writers 2, prefetchers 4, auto fan-out
+        assert_eq!(c.engine_threads(4), 4 + 4);
+        assert_eq!(c.engine_threads(1), 4, "single server: no fan-out slots");
+        let seq = MemFsConfig::default().with_io_parallelism(1);
+        assert_eq!(
+            seq.engine_threads(8),
+            4,
+            "sequential dispatch: background only"
+        );
+        let fixed = MemFsConfig::default().with_io_parallelism(3);
+        assert_eq!(fixed.engine_threads(8), 3 + 4);
+        let mut nopf = MemFsConfig::default().without_prefetch();
+        nopf.prefetch_threads = 0;
+        assert_eq!(nopf.engine_threads(2), 2 + 2, "writers only in background");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The MemFS mount: the interface an MTC application sees (the FUSE-client
 //! role of paper §3.1.3), with write-once / read-many semantics (§3.2.3).
 //!
-//! Each [`MemFs`] value corresponds to one mountpoint: it owns a writer
-//! thread pool and a prefetcher thread pool shared by all files opened
-//! through it. Creating several `MemFs` values over the same server list
+//! Each [`MemFs`] value corresponds to one mountpoint: it owns a single
+//! shared [`IoEngine`] — one dispatcher whose workers serve the
+//! per-server fan-out, the write drains, and the prefetchers of *every*
+//! file opened through the mount, so the thread count is bounded by the
+//! config rather than by how many files are open.
+//! Creating several `MemFs` values over the same server list
 //! reproduces the paper's multi-mountpoint deployment (the fix for the
 //! FUSE NUMA-spinlock bottleneck of Figure 10) — placement is a pure
 //! function of the key, so all mounts see the same namespace.
@@ -23,7 +26,7 @@ use crate::meta::{self, ChildKind, SizeRecord};
 use crate::path;
 use crate::pool::ServerPool;
 use crate::prefetch::StripeReader;
-use crate::threadpool::ThreadPool;
+use crate::threadpool::IoEngine;
 
 /// Kind of a namespace entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,11 +60,22 @@ pub struct FileStat {
 struct Inner {
     pool: Arc<ServerPool>,
     config: MemFsConfig,
-    writers: Arc<ThreadPool>,
-    prefetchers: Option<Arc<ThreadPool>>,
+    engine: Arc<IoEngine>,
 }
 
-/// A MemFS mountpoint. Cheap to clone (all clones share the thread pools).
+/// Stripe keys freed per `delete_many` round during unlink — bounds the
+/// per-round allocation while still amortizing round trips.
+const UNLINK_BATCH: usize = 1024;
+
+/// Probe width when unlinking a never-finalized file: one batch of this
+/// many stripe keys per round until a round deletes nothing.
+const PROBE_BATCH: usize = 64;
+
+fn stripe_key_bytes(path: &str, stripe: u64) -> Bytes {
+    Bytes::from(KeySchema::stripe_key(path, stripe))
+}
+
+/// A MemFS mountpoint. Cheap to clone (all clones share the I/O engine).
 #[derive(Clone)]
 pub struct MemFs {
     inner: Arc<Inner>,
@@ -76,36 +90,49 @@ impl MemFs {
         if let Err(msg) = config.validate() {
             return Err(MemFsError::InvalidPath(format!("config: {msg}")));
         }
-        let pool = Arc::new(ServerPool::with_options(
+        // One engine for the whole mount: its workers run the per-server
+        // fan-out batches *and* the drain/prefetch jobs that submit them
+        // (nested submission is deadlock-free — waiters help, see
+        // [`IoEngine`]). Sized by the config, independent of open files.
+        let n = servers.len();
+        let engine = Arc::new(IoEngine::new(config.engine_threads(n), "memfs-io"));
+        let fanout = config.io_parallelism != 1 && n > 1;
+        let pool = Arc::new(ServerPool::with_engine(
             servers,
             config.distributor,
             config.replication,
-            config.io_parallelism,
+            fanout.then(|| Arc::clone(&engine)),
         ));
-        Self::with_pool(pool, config)
+        Self::mount(pool, config, engine)
     }
 
     /// Mount over an existing [`ServerPool`] (lets several mounts share
-    /// routing state, and lets tests inject custom pools).
+    /// routing state, and lets tests inject custom pools). The mount's
+    /// background jobs run on the pool's dispatcher when it has one, so
+    /// pool-sharing mounts also share one engine.
     pub fn with_pool(pool: Arc<ServerPool>, config: MemFsConfig) -> MemFsResult<MemFs> {
         if let Err(msg) = config.validate() {
             return Err(MemFsError::InvalidPath(format!("config: {msg}")));
         }
-        let writers = Arc::new(ThreadPool::new(config.writer_threads, "memfs-writer"));
-        let prefetchers = if config.prefetch_window > 0 {
-            Some(Arc::new(ThreadPool::new(
-                config.prefetch_threads,
-                "memfs-prefetch",
-            )))
-        } else {
-            None
+        let engine = match pool.engine() {
+            Some(e) => Arc::clone(e),
+            // Sequential pool: background jobs still need somewhere to
+            // run; size for them alone (no fan-out slots).
+            None => Arc::new(IoEngine::new(config.engine_threads(1), "memfs-io")),
         };
+        Self::mount(pool, config, engine)
+    }
+
+    fn mount(
+        pool: Arc<ServerPool>,
+        config: MemFsConfig,
+        engine: Arc<IoEngine>,
+    ) -> MemFsResult<MemFs> {
         let fs = MemFs {
             inner: Arc::new(Inner {
                 pool,
                 config,
-                writers,
-                prefetchers,
+                engine,
             }),
         };
         // Ensure the root directory exists; racing mounts both succeed.
@@ -124,6 +151,12 @@ impl MemFs {
     /// The server pool behind this mount.
     pub fn pool(&self) -> &Arc<ServerPool> {
         &self.inner.pool
+    }
+
+    /// The mount's shared I/O engine — the one dispatcher every open
+    /// file's drain, prefetch, and fan-out work runs on.
+    pub fn engine(&self) -> &Arc<IoEngine> {
+        &self.inner.engine
     }
 
     fn layout(&self) -> StripeLayout {
@@ -166,7 +199,7 @@ impl MemFs {
             p.clone(),
             self.layout(),
             Arc::clone(&self.inner.pool),
-            Arc::clone(&self.inner.writers),
+            Arc::clone(&self.inner.engine),
             self.inner.config.write_buffer_stripes(),
             self.inner.config.write_batch_stripes,
         );
@@ -199,7 +232,7 @@ impl MemFs {
             self.layout(),
             size,
             Arc::clone(&self.inner.pool),
-            self.inner.prefetchers.clone(),
+            (self.inner.config.prefetch_window > 0).then(|| Arc::clone(&self.inner.engine)),
             self.inner.config.prefetch_window,
             self.inner.config.read_cache_stripes(),
         );
@@ -335,6 +368,17 @@ impl MemFs {
     /// Delete file `path`: frees its stripes and size record, and appends
     /// a tombstone to the parent's log (paper §3.2.4 only tombstones; we
     /// additionally reclaim the stripes so runtime memory is reusable).
+    ///
+    /// Stripes are freed through batched [`ServerPool::delete_many`]
+    /// rounds — one pipelined multi-delete per server, fanned out on the
+    /// mount's shared engine — instead of one round trip per stripe.
+    ///
+    /// A file whose size record is still open (its writer crashed or the
+    /// handle leaked before `close`) is unlinked too: the stripes it
+    /// managed to store are probed and freed best-effort, then the name
+    /// is released. Without this, such files are permanent zombies — no
+    /// writer will ever finalize them, and they can neither be read nor
+    /// removed.
     pub fn unlink(&self, raw: &str) -> MemFsResult<()> {
         let p = path::normalize(raw)?;
         let record = match self.inner.pool.try_get(&KeySchema::file_key(&p))? {
@@ -346,15 +390,13 @@ impl MemFs {
                 return Err(MemFsError::NotFound(p));
             }
         };
-        let size = match meta::decode_size(&record, &p)? {
-            SizeRecord::Open => return Err(MemFsError::NotFinalized(p)),
-            SizeRecord::Finalized(size) => size,
-        };
-        let layout = self.layout();
-        for s in 0..layout.stripe_count(size) {
-            self.inner
-                .pool
-                .delete_quiet(&KeySchema::stripe_key(&p, s))?;
+        match meta::decode_size(&record, &p)? {
+            SizeRecord::Finalized(size) => {
+                let count = self.layout().stripe_count(size);
+                let keys: Vec<Bytes> = (0..count).map(|s| stripe_key_bytes(&p, s)).collect();
+                self.delete_stripe_batch(&keys)?;
+            }
+            SizeRecord::Open => self.probe_delete_stripes(&p)?,
         }
         self.inner.pool.delete_quiet(&KeySchema::file_key(&p))?;
         self.inner.pool.append(
@@ -362,6 +404,40 @@ impl MemFs {
             &meta::encode_remove(path::basename(&p)),
         )?;
         Ok(())
+    }
+
+    /// Free `keys` in bounded [`ServerPool::delete_many`] rounds. Both
+    /// outcomes per key are fine (`true` deleted, `false` already gone);
+    /// a storage error aborts so the size record stays behind as the
+    /// marker that stripes may remain.
+    fn delete_stripe_batch(&self, keys: &[Bytes]) -> MemFsResult<()> {
+        for chunk in keys.chunks(UNLINK_BATCH) {
+            for res in self.inner.pool.delete_many(chunk) {
+                res?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Free the stripes of a never-finalized file. Its true length is
+    /// unknown (only the crashed writer knew), but stripes are written
+    /// sequentially, so probe forward in batches until a whole batch
+    /// reports nothing deleted.
+    fn probe_delete_stripes(&self, p: &str) -> MemFsResult<()> {
+        let mut next = 0u64;
+        loop {
+            let keys: Vec<Bytes> = (next..next + PROBE_BATCH as u64)
+                .map(|s| stripe_key_bytes(p, s))
+                .collect();
+            let mut any = false;
+            for res in self.inner.pool.delete_many(&keys) {
+                any |= res?;
+            }
+            if !any {
+                return Ok(());
+            }
+            next += PROBE_BATCH as u64;
+        }
     }
 
     /// Remove empty directory `path`.
@@ -768,6 +844,82 @@ mod tests {
         // Name is reusable (fresh object).
         fs.write_file("/victim", b"new").unwrap();
         assert_eq!(fs.read_to_vec("/victim").unwrap(), b"new");
+    }
+
+    #[test]
+    fn unlink_open_file_clears_zombie() {
+        // Regression: a writer that crashes (or leaks its handle) before
+        // `close` used to leave a permanent zombie — `open` says
+        // NotFinalized forever and `unlink` refused with the same error,
+        // so neither the name nor the flushed stripes were recoverable.
+        let servers: Vec<Arc<Store>> = (0..4)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = servers
+            .iter()
+            .map(|s| Arc::new(LocalClient::new(Arc::clone(s))) as Arc<dyn KvClient>)
+            .collect();
+        let fs = MemFs::new(
+            clients,
+            MemFsConfig {
+                stripe_size: 128,
+                write_buffer_size: 1024,
+                ..MemFsConfig::default()
+            },
+        )
+        .unwrap();
+        let mut w = fs.create("/zombie").unwrap();
+        w.write_all(&vec![9u8; 1000]).unwrap();
+        w.flush().unwrap();
+        std::mem::forget(w); // the writer "crashes": close never runs
+        assert!(matches!(
+            fs.open("/zombie"),
+            Err(MemFsError::NotFinalized(_))
+        ));
+        fs.unlink("/zombie").unwrap();
+        assert!(matches!(fs.open("/zombie"), Err(MemFsError::NotFound(_))));
+        assert!(fs.readdir("/").unwrap().is_empty());
+        // The flushed stripes were reclaimed — only the root's small
+        // directory log remains on the servers.
+        let leftover: u64 = servers.iter().map(|s| s.bytes_used()).sum();
+        assert!(
+            leftover < 128,
+            "stripes not reclaimed: {leftover} bytes left"
+        );
+        // The name is immediately reusable.
+        fs.write_file("/zombie", b"alive").unwrap();
+        assert_eq!(fs.read_to_vec("/zombie").unwrap(), b"alive");
+    }
+
+    #[test]
+    fn unlink_open_file_with_nothing_flushed() {
+        let fs = mount(2);
+        let mut w = fs.create("/empty-zombie").unwrap();
+        w.write_all(b"tiny").unwrap(); // less than a stripe: nothing stored yet
+        std::mem::forget(w);
+        fs.unlink("/empty-zombie").unwrap();
+        assert!(!fs.exists("/empty-zombie").unwrap());
+    }
+
+    #[test]
+    fn mount_shares_one_engine_with_its_pool() {
+        let fs = mount(4);
+        let pool_engine = fs.pool().engine().expect("fan-out pool has an engine");
+        assert!(
+            Arc::ptr_eq(pool_engine, fs.engine()),
+            "pool dispatch and mount background jobs must share one engine"
+        );
+        // Sequential mounts skip pool fan-out but still run background
+        // drains and prefetches on a mount-owned engine.
+        let seq = mount_with(
+            2,
+            MemFsConfig {
+                io_parallelism: 1,
+                ..MemFsConfig::default()
+            },
+        );
+        assert!(seq.pool().engine().is_none());
+        assert!(seq.engine().size() >= 1);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //!   storage server via [`memfs_hashring`];
 //! * [`layout::StripeLayout`] — the striping mechanism (default 512 KiB
 //!   stripes, the paper's measured optimum);
+//! * [`threadpool::IoEngine`] — one dispatcher per mount shared by the
+//!   per-server fan-out, every file's write drain, and every file's
+//!   prefetcher, so thread count is bounded by the config rather than by
+//!   the number of open files;
 //! * [`bufwrite`] — the write-buffering protocol: an 8 MiB per-file buffer
-//!   drained asynchronously by a thread pool; `close()`/`flush()` block
-//!   until it is empty;
+//!   drained asynchronously through the shared engine; `close()`/`flush()`
+//!   block until it is empty;
 //! * [`prefetch`] — the sequential-read prefetcher filling an 8 MiB
-//!   per-file read cache from a thread pool;
+//!   per-file read cache through the shared engine;
 //! * [`meta`] — file-size records and append-only directory logs over
 //!   atomic KV `append`;
 //! * [`fs::MemFs`] — the mount: create/open/read/write/close/mkdir/
@@ -71,3 +75,4 @@ pub use elastic::{rebalance, RebalanceReport};
 pub use error::{MemFsError, MemFsResult};
 pub use fs::{DirEntry, EntryKind, FileStat, MemFs, ReadHandle, WriteHandle};
 pub use pool::{PoolStats, ServerIoSnapshot, ServerPool};
+pub use threadpool::{IoEngine, TaskGroup};

@@ -20,7 +20,7 @@ use memfs_memkv::{KvClient, KvError};
 
 use crate::config::DistributorKind;
 use crate::error::{MemFsError, MemFsResult};
-use crate::threadpool::{ThreadPool, WaitGroup};
+use crate::threadpool::IoEngine;
 
 /// Per-server I/O counters, updated by every batched dispatch.
 ///
@@ -180,6 +180,67 @@ impl PoolCore {
             Err(e) => Some(e.into()),
         }
     }
+
+    /// One server's share of a `delete_many`: a single pipelined batch of
+    /// deletes, with per-key fallback if the whole batch transport fails
+    /// (delete is idempotent, so the retry is safe).
+    fn erase_group(&self, server: usize, batch: &[Bytes]) -> Vec<Erase> {
+        let io = &self.stats.servers[server];
+        let _in_flight = io.track(batch.len());
+        let map = |r: Result<(), KvError>| match r {
+            Ok(()) => Erase::Deleted,
+            Err(KvError::NotFound) => Erase::Missing,
+            Err(e) => Erase::Failed(e.into()),
+        };
+        match self.clients[server].delete_many(batch) {
+            Ok(results) => results.into_iter().map(map).collect(),
+            Err(_) => batch
+                .iter()
+                .map(|key| {
+                    io.bump_fallback();
+                    map(self.clients[server].delete(key))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-replica outcome of deleting one key on one server.
+enum Erase {
+    Deleted,
+    Missing,
+    Failed(MemFsError),
+}
+
+/// Cross-replica aggregate for one `delete_many` input key.
+#[derive(Default)]
+struct EraseAgg {
+    deleted: bool,
+    missing: bool,
+    err: Option<MemFsError>,
+}
+
+impl EraseAgg {
+    fn merge(&mut self, outcome: Erase) {
+        match outcome {
+            Erase::Deleted => self.deleted = true,
+            Erase::Missing => self.missing = true,
+            Erase::Failed(e) => self.err = Some(e),
+        }
+    }
+
+    /// Same semantics as [`ServerPool::delete_quiet`], per key: any replica
+    /// deleting wins, a clean miss everywhere is `Ok(false)`, and only a
+    /// key whose every replica erred is an error.
+    fn resolve(self) -> MemFsResult<bool> {
+        if self.deleted {
+            Ok(true)
+        } else if self.missing {
+            Ok(false)
+        } else {
+            Err(self.err.expect("replication >= 1"))
+        }
+    }
 }
 
 /// A hash-routed pool of storage servers with optional n-way replication
@@ -202,9 +263,11 @@ impl PoolCore {
 /// `replication = 1`.
 pub struct ServerPool {
     core: Arc<PoolCore>,
-    /// Per-server fan-out workers; `None` means sequential dispatch
-    /// (`io_parallelism` resolved to 1, or a single server).
-    dispatcher: Option<ThreadPool>,
+    /// Per-server fan-out engine; `None` means sequential dispatch
+    /// (`io_parallelism` resolved to 1, or a single server). Usually the
+    /// mount's shared [`IoEngine`] (see [`ServerPool::with_engine`]), so
+    /// fan-out, prefetch, and drains all ride one bounded worker set.
+    engine: Option<Arc<IoEngine>>,
 }
 
 impl ServerPool {
@@ -244,6 +307,32 @@ impl ServerPool {
         replication: usize,
         io_parallelism: usize,
     ) -> Self {
+        let workers = if io_parallelism == 0 {
+            clients.len()
+        } else {
+            io_parallelism
+        };
+        // One server (or parallelism forced to 1) has nothing to overlap:
+        // skip the worker threads entirely and dispatch inline.
+        let engine =
+            (workers > 1 && clients.len() > 1).then(|| Arc::new(IoEngine::new(workers, "pool-io")));
+        Self::with_engine(clients, kind, replication, engine)
+    }
+
+    /// Build a pool that dispatches its per-server batches on an existing
+    /// shared [`IoEngine`] instead of spawning its own workers — the
+    /// per-mount shape: one engine serves the pool fan-out *and* every
+    /// open file's prefetch and drain jobs. `None` means sequential
+    /// inline dispatch.
+    ///
+    /// # Panics
+    /// Panics on an empty client list or an invalid replication factor.
+    pub fn with_engine(
+        clients: Vec<Arc<dyn KvClient>>,
+        kind: DistributorKind,
+        replication: usize,
+        engine: Option<Arc<IoEngine>>,
+    ) -> Self {
         assert!(!clients.is_empty(), "server pool needs at least one server");
         assert!(
             replication >= 1 && replication <= clients.len(),
@@ -256,11 +345,6 @@ impl ServerPool {
                 Arc::new(KetamaRing::with_n_servers(clients.len(), points_per_server))
             }
         };
-        let workers = if io_parallelism == 0 {
-            clients.len()
-        } else {
-            io_parallelism
-        };
         let stats = PoolStats::new(clients.len());
         let core = Arc::new(PoolCore {
             clients,
@@ -268,11 +352,12 @@ impl ServerPool {
             replication,
             stats,
         });
-        // One server (or parallelism forced to 1) has nothing to overlap:
-        // skip the worker threads entirely and dispatch inline.
-        let dispatcher =
-            (workers > 1 && core.clients.len() > 1).then(|| ThreadPool::new(workers, "pool-io"));
-        ServerPool { core, dispatcher }
+        ServerPool { core, engine }
+    }
+
+    /// The engine this pool dispatches on, if fan-out is enabled.
+    pub fn engine(&self) -> Option<&Arc<IoEngine>> {
+        self.engine.as_ref()
     }
 
     /// The configured replication factor.
@@ -283,7 +368,7 @@ impl ServerPool {
     /// Effective dispatcher width: how many per-server batches can be on
     /// the wire simultaneously.
     pub fn io_parallelism(&self) -> usize {
-        self.dispatcher.as_ref().map_or(1, ThreadPool::size)
+        self.engine.as_ref().map_or(1, |e| e.size())
     }
 
     /// Per-server dispatch counters.
@@ -366,26 +451,26 @@ impl ServerPool {
             .filter(|(_, group)| !group.is_empty())
             .collect();
         let mut out: Vec<Option<MemFsResult<Bytes>>> = (0..keys.len()).map(|_| None).collect();
-        match &self.dispatcher {
-            Some(pool) if work.len() > 1 => {
+        match &self.engine {
+            Some(engine) if work.len() > 1 => {
                 let shared = Arc::new(Mutex::new(out));
                 // The caller's thread is a worker too: it runs the last
-                // group itself instead of idling on the WaitGroup.
+                // group itself instead of idling on the TaskGroup.
                 let (last_server, last_group) = work.pop().expect("len > 1");
-                let wg = Arc::new(WaitGroup::new(work.len()));
+                let tg = engine.group(work.len());
                 for (server, group) in work {
                     let batch: Vec<Bytes> = group.iter().map(|&i| keys[i].clone()).collect();
                     let core = Arc::clone(&self.core);
                     let shared = Arc::clone(&shared);
-                    let wg = Arc::clone(&wg);
-                    pool.execute(move || {
+                    let tg = Arc::clone(&tg);
+                    engine.execute(move || {
                         let results = core.fetch_group(server, &batch);
                         let mut out = shared.lock().expect("fan-out results lock");
                         for (&i, r) in group.iter().zip(results) {
                             out[i] = Some(r);
                         }
                         drop(out);
-                        wg.done();
+                        tg.done();
                     });
                 }
                 let batch: Vec<Bytes> = last_group.iter().map(|&i| keys[i].clone()).collect();
@@ -396,7 +481,7 @@ impl ServerPool {
                         out[i] = Some(r);
                     }
                 }
-                wg.wait();
+                tg.wait();
                 out = std::mem::take(&mut *shared.lock().expect("fan-out results lock"));
             }
             _ => {
@@ -436,24 +521,24 @@ impl ServerPool {
             .collect();
         let mut errs: Vec<Option<MemFsError>> =
             (0..self.core.clients.len()).map(|_| None).collect();
-        match &self.dispatcher {
-            Some(pool) if work.len() > 1 => {
+        match &self.engine {
+            Some(engine) if work.len() > 1 => {
                 let shared = Arc::new(Mutex::new(errs));
                 let (last_server, last_batch) = work.pop().expect("len > 1");
-                let wg = Arc::new(WaitGroup::new(work.len()));
+                let tg = engine.group(work.len());
                 for (server, batch) in work {
                     let core = Arc::clone(&self.core);
                     let shared = Arc::clone(&shared);
-                    let wg = Arc::clone(&wg);
-                    pool.execute(move || {
+                    let tg = Arc::clone(&tg);
+                    engine.execute(move || {
                         let err = core.store_group(server, &batch);
                         shared.lock().expect("fan-out errs lock")[server] = err;
-                        wg.done();
+                        tg.done();
                     });
                 }
                 let err = self.core.store_group(last_server, &last_batch);
                 shared.lock().expect("fan-out errs lock")[last_server] = err;
-                wg.wait();
+                tg.wait();
                 errs = std::mem::take(&mut *shared.lock().expect("fan-out errs lock"));
             }
             _ => {
@@ -493,6 +578,73 @@ impl ServerPool {
         } else {
             Err(last_err.expect("replication >= 1").into())
         }
+    }
+
+    /// Batched routed `delete`: keys are grouped per replica-holding
+    /// server, each group travels as one pipelined
+    /// [`KvClient::delete_many`] call, and the groups go out concurrently
+    /// through the engine — freeing a striped file costs one parallel
+    /// round trip per chunk instead of one round trip per stripe.
+    ///
+    /// Per-key semantics match [`ServerPool::delete_quiet`]: `Ok(true)` if
+    /// any replica deleted the key, `Ok(false)` if every live replica
+    /// reported it missing, `Err` only if all replicas failed.
+    pub fn delete_many(&self, keys: &[Bytes]) -> Vec<MemFsResult<bool>> {
+        // One batch per *target* server across all replicas; each entry
+        // remembers which input key it resolves (parallel index/key vecs).
+        let mut batches: Vec<(Vec<usize>, Vec<Bytes>)> =
+            vec![(Vec::new(), Vec::new()); self.core.clients.len()];
+        for (i, key) in keys.iter().enumerate() {
+            for id in self.core.servers_for(key) {
+                batches[id.0].0.push(i);
+                batches[id.0].1.push(key.clone());
+            }
+        }
+        let mut work: Vec<(usize, Vec<usize>, Vec<Bytes>)> = batches
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (idx, _))| !idx.is_empty())
+            .map(|(server, (idx, batch))| (server, idx, batch))
+            .collect();
+        let mut agg: Vec<EraseAgg> = (0..keys.len()).map(|_| EraseAgg::default()).collect();
+        match &self.engine {
+            Some(engine) if work.len() > 1 => {
+                let shared = Arc::new(Mutex::new(agg));
+                let (last_server, last_idx, last_batch) = work.pop().expect("len > 1");
+                let tg = engine.group(work.len());
+                for (server, idx, batch) in work {
+                    let core = Arc::clone(&self.core);
+                    let shared = Arc::clone(&shared);
+                    let tg = Arc::clone(&tg);
+                    engine.execute(move || {
+                        let outcomes = core.erase_group(server, &batch);
+                        let mut agg = shared.lock().expect("fan-out erase lock");
+                        for (&i, o) in idx.iter().zip(outcomes) {
+                            agg[i].merge(o);
+                        }
+                        drop(agg);
+                        tg.done();
+                    });
+                }
+                let outcomes = self.core.erase_group(last_server, &last_batch);
+                {
+                    let mut agg = shared.lock().expect("fan-out erase lock");
+                    for (&i, o) in last_idx.iter().zip(outcomes) {
+                        agg[i].merge(o);
+                    }
+                }
+                tg.wait();
+                agg = std::mem::take(&mut *shared.lock().expect("fan-out erase lock"));
+            }
+            _ => {
+                for (server, idx, batch) in work {
+                    for (&i, o) in idx.iter().zip(self.core.erase_group(server, &batch)) {
+                        agg[i].merge(o);
+                    }
+                }
+            }
+        }
+        agg.into_iter().map(EraseAgg::resolve).collect()
     }
 
     /// Whether a key exists on any live replica.
@@ -654,6 +806,61 @@ mod tests {
         for i in 0..100 {
             let key = format!("s:/f{i}#3");
             assert_eq!(p1.server_for(key.as_bytes()), p2.server_for(key.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn delete_many_reports_per_key_outcomes() {
+        let (p, stores) = pool(4);
+        let keys: Vec<Bytes> = (0..32).map(|i| Bytes::from(format!("s:/f{i}#0"))).collect();
+        for k in &keys {
+            p.set(k, Bytes::from_static(b"v")).unwrap();
+        }
+        // First pass deletes everything; second pass finds nothing.
+        for r in p.delete_many(&keys) {
+            assert!(r.unwrap());
+        }
+        for r in p.delete_many(&keys) {
+            assert!(!r.unwrap());
+        }
+        assert!(stores.iter().all(|s| s.item_count() == 0));
+    }
+
+    #[test]
+    fn delete_many_mixed_hits_and_misses() {
+        let (p, _) = pool(3);
+        p.set(b"present", Bytes::from_static(b"v")).unwrap();
+        let out = p.delete_many(&[
+            Bytes::from_static(b"present"),
+            Bytes::from_static(b"absent"),
+        ]);
+        assert!(out[0].as_ref().unwrap());
+        assert!(!out[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn delete_many_survives_a_dead_replica() {
+        use memfs_memkv::FailableClient;
+        let failables: Vec<Arc<FailableClient<LocalClient>>> = (0..3)
+            .map(|_| {
+                Arc::new(FailableClient::new(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                )))))
+            })
+            .collect();
+        let clients: Vec<Arc<dyn KvClient>> = failables
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn KvClient>)
+            .collect();
+        let p = ServerPool::with_replication(clients, DistributorKind::default(), 2);
+        let keys: Vec<Bytes> = (0..24).map(|i| Bytes::from(format!("k{i}"))).collect();
+        for k in &keys {
+            p.set(k, Bytes::from_static(b"v")).unwrap();
+        }
+        failables[0].set_down(true);
+        // Every key still has a live replica: the delete succeeds.
+        for r in p.delete_many(&keys) {
+            assert!(r.unwrap());
         }
     }
 

@@ -21,7 +21,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{MemFsError, MemFsResult};
 use crate::layout::StripeLayout;
 use crate::pool::ServerPool;
-use crate::threadpool::ThreadPool;
+use crate::threadpool::IoEngine;
 
 /// State of one cache slot.
 enum Slot {
@@ -45,13 +45,56 @@ struct Cache {
     capacity: usize,
 }
 
+impl Cache {
+    /// Insert a fetched stripe as `Ready`, evicting FIFO down to capacity.
+    /// Shared by the synchronous miss path and the background prefetch
+    /// jobs so the `order` queue is the single capacity authority.
+    fn insert_ready_locked(&self, state: &mut CacheState, stripe: u64, data: Bytes) {
+        while state.order.len() >= self.capacity {
+            if let Some(victim) = state.order.pop_front() {
+                // Never evict the stripe we are inserting.
+                if victim != stripe {
+                    state.slots.remove(&victim);
+                }
+            } else {
+                break;
+            }
+        }
+        state.slots.insert(stripe, Slot::Ready(data));
+        state.order.push_back(stripe);
+        self.check_invariants(state);
+    }
+
+    /// The `order`/`slots` invariant: `order` holds each Ready stripe at
+    /// most once and never grows past capacity. Duplicated entries are how
+    /// the old unclaimed-miss double-fetch corrupted capacity accounting.
+    fn check_invariants(&self, state: &CacheState) {
+        if cfg!(debug_assertions) {
+            assert!(
+                state.order.len() <= self.capacity,
+                "order {} exceeds capacity {}",
+                state.order.len(),
+                self.capacity
+            );
+            let unique: std::collections::HashSet<&u64> = state.order.iter().collect();
+            assert_eq!(unique.len(), state.order.len(), "duplicate order entries");
+            for s in &state.order {
+                assert!(
+                    matches!(state.slots.get(s), Some(Slot::Ready(_))),
+                    "order entry {s} not Ready"
+                );
+            }
+        }
+    }
+}
+
 /// A striped, prefetching reader over one finalized file.
 pub struct StripeReader {
     path: String,
     layout: StripeLayout,
     file_size: u64,
     pool: Arc<ServerPool>,
-    workers: Option<Arc<ThreadPool>>,
+    engine: Option<Arc<IoEngine>>,
     window: usize,
     cache: Arc<Cache>,
 }
@@ -59,15 +102,17 @@ pub struct StripeReader {
 impl StripeReader {
     /// Create a reader for `path` with final size `file_size`.
     ///
-    /// `workers`/`window` control prefetching; pass `None`/`0` to disable
-    /// (the "no prefetching" ablation of Figure 3b). `cache_stripes` caps
-    /// the local cache (8 MiB / stripe size by default).
+    /// `engine`/`window` control prefetching; pass `None`/`0` to disable
+    /// (the "no prefetching" ablation of Figure 3b). The engine is the
+    /// mount's shared [`IoEngine`] — every open file's prefetch jobs ride
+    /// the same bounded worker set. `cache_stripes` caps the local cache
+    /// (8 MiB / stripe size by default).
     pub fn new(
         path: String,
         layout: StripeLayout,
         file_size: u64,
         pool: Arc<ServerPool>,
-        workers: Option<Arc<ThreadPool>>,
+        engine: Option<Arc<IoEngine>>,
         window: usize,
         cache_stripes: usize,
     ) -> Self {
@@ -76,7 +121,7 @@ impl StripeReader {
             layout,
             file_size,
             pool,
-            workers,
+            engine,
             window,
             cache: Arc::new(Cache {
                 state: Mutex::new(CacheState {
@@ -114,20 +159,40 @@ impl StripeReader {
                     Some(Slot::InFlight) => {
                         self.cache.cv.wait(&mut state);
                     }
-                    Some(Slot::Failed) | None => break,
+                    Some(Slot::Failed) | None => {
+                        // Claim the slot *before* going to the network so
+                        // concurrent misses on this stripe wait here
+                        // instead of each fetching it (and pushing
+                        // duplicate eviction-order entries). Overwriting a
+                        // stale Failed marker is the synchronous retry
+                        // clearing it.
+                        state.slots.insert(stripe, Slot::InFlight);
+                        break;
+                    }
                 }
             }
         }
-        // Synchronous path (miss, failed prefetch, or prefetch disabled).
+        // Synchronous path (claimed miss, or prefetch disabled).
         let key = KeySchema::stripe_key(&self.path, stripe);
-        let data = self
-            .pool
-            .get(&key)
-            .map_err(|e| self.stripe_err(stripe, e))?;
-        if self.window > 0 {
-            self.insert_ready(stripe, data.clone());
+        match self.pool.get(&key) {
+            Ok(data) => {
+                if self.window > 0 {
+                    self.insert_ready(stripe, data.clone());
+                }
+                Ok(data)
+            }
+            Err(e) => {
+                if self.window > 0 {
+                    // Release the claim so waiters retry instead of
+                    // hanging on an InFlight that will never resolve.
+                    let mut state = self.cache.state.lock();
+                    state.slots.remove(&stripe);
+                    drop(state);
+                    self.cache.cv.notify_all();
+                }
+                Err(self.stripe_err(stripe, e))
+            }
         }
-        Ok(data)
     }
 
     /// A missing stripe under a finalized size record means the key space
@@ -183,6 +248,14 @@ impl StripeReader {
                 }
             }
         }
+        // Re-issue the full remaining prefetch window immediately, keyed
+        // off the furthest requested stripe. The readahead job overlaps
+        // the synchronous miss fetch below, so small sequential `read_at`
+        // spans (1-2 stripes) still keep every server engaged instead of
+        // capping the fan-out at the span width.
+        if let Some(&last) = stripes.iter().max() {
+            self.prefetch_ahead(last);
+        }
         if !misses.is_empty() {
             let keys: Vec<Bytes> = misses
                 .iter()
@@ -196,7 +269,7 @@ impl StripeReader {
             for (&(i, s), r) in misses.iter().zip(results) {
                 match r {
                     Ok(data) => {
-                        self.insert_ready_locked(&mut state, s, data.clone());
+                        self.cache.insert_ready_locked(&mut state, s, data.clone());
                         out[i] = Some(data);
                     }
                     Err(e) => {
@@ -232,7 +305,7 @@ impl StripeReader {
     /// so a window of `w` stripes over `n` servers costs one round trip
     /// per server — issued concurrently, `max(server RTT)` total.
     fn prefetch_ahead(&self, stripe: u64) {
-        let Some(workers) = &self.workers else {
+        let Some(engine) = &self.engine else {
             return;
         };
         if self.window == 0 {
@@ -243,19 +316,38 @@ impl StripeReader {
         let mut pending: Vec<u64> = Vec::new();
         {
             let mut state = self.cache.state.lock();
+            // Sweep stale Failed markers first. They never enter the
+            // eviction `order` queue, so before this sweep they
+            // accumulated in `slots` until the capacity guard below
+            // permanently wedged prefetching after transient errors. The
+            // cost: a persistently failing stripe may be re-tried once
+            // per issued window — bounded, and the synchronous path
+            // surfaces its error either way.
+            state.slots.retain(|_, s| !matches!(s, Slot::Failed));
+            // Don't let prefetch evict data the reader hasn't seen: bound
+            // the stripes that are still *unread* — ahead of the read
+            // position or in flight. Ready stripes behind `stripe` were
+            // already consumed by this sequential pass and are fair
+            // eviction game, so they must not count against the budget:
+            // charging them wedged steady-state prefetch entirely once a
+            // file longer than the cache had filled it.
+            let mut busy = state
+                .slots
+                .iter()
+                .filter(|&(&s, slot)| s > stripe || matches!(slot, Slot::InFlight))
+                .count();
             for next in (stripe + 1)..=(stripe + self.window as u64) {
                 if next >= total {
                     break;
                 }
                 if state.slots.contains_key(&next) {
-                    continue; // ready, in flight, or failed-recently
+                    continue; // ready or in flight
                 }
-                // Don't let prefetch evict data the reader hasn't seen:
-                // only start if there is room.
-                if state.slots.len() >= self.cache.capacity {
+                if busy >= self.cache.capacity {
                     break;
                 }
                 state.slots.insert(next, Slot::InFlight);
+                busy += 1;
                 pending.push(next);
             }
         }
@@ -268,20 +360,18 @@ impl StripeReader {
             .collect();
         let pool = Arc::clone(&self.pool);
         let cache = Arc::clone(&self.cache);
-        workers.execute(move || {
+        engine.execute(move || {
             let results = pool.get_many(&keys);
             let mut state = cache.state.lock();
             for (&s, result) in pending.iter().zip(results) {
                 match result {
-                    Ok(data) => {
-                        state.slots.insert(s, Slot::Ready(data));
-                        state.order.push_back(s);
-                    }
+                    Ok(data) => cache.insert_ready_locked(&mut state, s, data),
                     Err(_) => {
                         state.slots.insert(s, Slot::Failed);
                     }
                 }
             }
+            drop(state);
             cache.cv.notify_all();
         });
     }
@@ -289,29 +379,22 @@ impl StripeReader {
     /// Insert a synchronously fetched stripe, evicting FIFO if needed.
     fn insert_ready(&self, stripe: u64, data: Bytes) {
         let mut state = self.cache.state.lock();
-        self.insert_ready_locked(&mut state, stripe, data);
+        self.cache.insert_ready_locked(&mut state, stripe, data);
         drop(state);
         self.cache.cv.notify_all();
-    }
-
-    fn insert_ready_locked(&self, state: &mut CacheState, stripe: u64, data: Bytes) {
-        while state.order.len() >= self.cache.capacity {
-            if let Some(victim) = state.order.pop_front() {
-                // Never evict the stripe we are inserting.
-                if victim != stripe {
-                    state.slots.remove(&victim);
-                }
-            } else {
-                break;
-            }
-        }
-        state.slots.insert(stripe, Slot::Ready(data));
-        state.order.push_back(stripe);
     }
 
     /// Number of stripes currently cached or in flight (diagnostic).
     pub fn cached_stripes(&self) -> usize {
         self.cache.state.lock().slots.len()
+    }
+
+    /// Verify the cache invariants and report `(slots, order)` sizes.
+    #[cfg(test)]
+    fn cache_counts(&self) -> (usize, usize) {
+        let state = self.cache.state.lock();
+        self.cache.check_invariants(&state);
+        (state.slots.len(), state.order.len())
     }
 }
 
@@ -348,17 +431,13 @@ mod tests {
         stripe: usize,
         window: usize,
     ) -> StripeReader {
-        let workers = if window > 0 {
-            Some(Arc::new(ThreadPool::new(2, "pf")))
-        } else {
-            None
-        };
+        let engine = (window > 0).then(|| Arc::new(IoEngine::new(2, "pf")));
         StripeReader::new(
             "/f".into(),
             StripeLayout::new(stripe),
             file_size,
             Arc::clone(pool),
-            workers,
+            engine,
             window,
             16,
         )
@@ -433,8 +512,8 @@ mod tests {
             )
             .unwrap();
         }
-        let workers = Some(Arc::new(ThreadPool::new(4, "pf")));
-        let r = StripeReader::new("/f".into(), layout, 2000, Arc::clone(&pool), workers, 8, 16);
+        let engine = Some(Arc::new(IoEngine::new(4, "pf")));
+        let r = StripeReader::new("/f".into(), layout, 2000, Arc::clone(&pool), engine, 8, 16);
         // One read triggers exactly one prefetch window (stripes 1..=8).
         let owners: std::collections::HashSet<usize> = (1..=8u64)
             .map(|s| pool.server_for(&KeySchema::stripe_key("/f", s)).0)
@@ -508,13 +587,13 @@ mod tests {
     #[test]
     fn cache_respects_capacity() {
         let (pool, _) = setup(10_000, 100);
-        let workers = Some(Arc::new(ThreadPool::new(2, "pf")));
+        let engine = Some(Arc::new(IoEngine::new(2, "pf")));
         let r = StripeReader::new(
             "/f".into(),
             StripeLayout::new(100),
             10_000,
             Arc::clone(&pool),
-            workers,
+            engine,
             4,
             6, // tiny cache
         );
@@ -534,6 +613,160 @@ mod tests {
         pool.delete_quiet(&KeySchema::stripe_key("/f", 5)).unwrap();
         let r = reader(&pool, 1000, 100, 0);
         assert!(matches!(r.stripe(5), Err(MemFsError::CorruptMetadata(_))));
+    }
+
+    #[test]
+    fn prefetch_recovers_after_transient_errors() {
+        use memfs_memkv::FailableClient;
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let failable = Arc::new(FailableClient::new(LocalClient::new(Arc::clone(&store))));
+        let clients: Vec<Arc<dyn KvClient>> = vec![Arc::clone(&failable) as Arc<dyn KvClient>];
+        let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
+        let layout = StripeLayout::new(100);
+        for s in 0..layout.stripe_count(5000) {
+            pool.set(
+                &KeySchema::stripe_key("/f", s),
+                Bytes::from(vec![s as u8; 100]),
+            )
+            .unwrap();
+        }
+        let engine = Some(Arc::new(IoEngine::new(2, "pf")));
+        let r = StripeReader::new(
+            "/f".into(),
+            layout,
+            5000,
+            Arc::clone(&pool),
+            engine,
+            4,
+            4, // capacity == window: a few stale Failed slots fill it
+        );
+        // Transient outage: every batched read fails, leaving Failed
+        // markers behind (as many distinct stripes as the capacity).
+        failable.set_down(true);
+        for s in [0u64, 10, 20, 30] {
+            assert!(r.read_stripes(&[s]).is_err());
+        }
+        failable.set_down(false);
+        // Recovery: a successful read must re-arm prefetching. Before the
+        // Failed-slot sweep, the stale markers counted against capacity
+        // and the `slots.len() >= capacity` guard wedged prefetch
+        // permanently — no batched multi-get was ever issued again.
+        let baseline = store.stats().snapshot().mget_ops;
+        assert_eq!(r.stripe(40).unwrap().as_ref(), &[40u8; 100][..]);
+        let mut landed = false;
+        for _ in 0..2000 {
+            if store.stats().snapshot().mget_ops > baseline {
+                landed = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            landed,
+            "prefetch window never issued after recovery: wedged"
+        );
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_into_one_fetch() {
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let clients: Vec<Arc<dyn KvClient>> =
+            vec![Arc::new(LocalClient::new(Arc::clone(&store))) as Arc<dyn KvClient>];
+        let pool = Arc::new(ServerPool::new(clients, DistributorKind::default()));
+        // A one-stripe file: nothing to prefetch, so the only traffic is
+        // the miss fetch itself.
+        pool.set(&KeySchema::stripe_key("/f", 0), Bytes::from(vec![7u8; 100]))
+            .unwrap();
+        let engine = Some(Arc::new(IoEngine::new(2, "pf")));
+        let r = Arc::new(StripeReader::new(
+            "/f".into(),
+            StripeLayout::new(100),
+            100,
+            Arc::clone(&pool),
+            engine,
+            4,
+            16,
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    r.stripe(0).unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap().as_ref(), &[7u8; 100][..]);
+        }
+        // The first miss claims the slot; the other seven wait on it.
+        // Before claim-then-fetch, racing misses each went to the network
+        // and each pushed an eviction-order entry for the same stripe.
+        assert_eq!(
+            store.stats().snapshot().get_ops,
+            1,
+            "concurrent misses must coalesce into one network fetch"
+        );
+        let (slots, order) = r.cache_counts();
+        assert_eq!((slots, order), (1, 1));
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity_under_random_ops() {
+        let (pool, data) = setup(10_000, 100); // 100 stripes
+        for cap in [1usize, 2, 5, 8] {
+            let engine = Some(Arc::new(IoEngine::new(2, "pf")));
+            let r = StripeReader::new(
+                "/f".into(),
+                StripeLayout::new(100),
+                10_000,
+                Arc::clone(&pool),
+                engine,
+                4,
+                cap,
+            );
+            // Deterministic xorshift so failures reproduce.
+            let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ cap as u64;
+            for _ in 0..300 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x.is_multiple_of(3) {
+                    let s = x % 100;
+                    let got = r.stripe(s).unwrap();
+                    assert_eq!(got.as_ref(), &data[(s as usize) * 100..][..100]);
+                } else {
+                    let start = x % 97;
+                    let span: Vec<u64> = (start..(start + 1 + (x >> 8) % 4).min(100)).collect();
+                    r.read_stripes(&span).unwrap();
+                }
+                // `cache_counts` checks the order/slots invariant (order
+                // unique, Ready-only, bounded by capacity) on every step;
+                // total slots may transiently exceed capacity only by the
+                // claims in flight: prefetch reserves at most `cap` unread
+                // stripes and a `read_stripes` span claims <= 4 more.
+                let (slots, order) = r.cache_counts();
+                assert!(order <= cap, "order {order} > capacity {cap}");
+                assert!(
+                    slots <= 2 * cap + 4,
+                    "slots {slots} > capacity {cap} + in-flight budget"
+                );
+            }
+            // Quiescent: every claim resolves and eviction brings the
+            // cache back within capacity.
+            let mut settled = false;
+            for _ in 0..2000 {
+                let (slots, _) = r.cache_counts();
+                if slots <= cap {
+                    settled = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert!(settled, "cache never settled to capacity {cap}");
+        }
     }
 
     #[test]

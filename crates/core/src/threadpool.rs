@@ -1,52 +1,102 @@
-//! A small fixed-size thread pool over a crossbeam channel.
+//! The shared per-mount I/O engine.
 //!
 //! Both the write-buffering and the prefetching protocols "work with thread
 //! pools to implement concurrent communication to the remote nodes"
-//! (paper §3.2.2); this is that pool. Jobs are plain closures; completion
-//! signalling is the submitter's business (the write buffer uses a
-//! counter + condvar, the prefetcher a shared cache slot).
+//! (paper §3.2.2). Earlier revisions gave each protocol its own pool plus
+//! a third for the fan-out dispatcher, so thread count grew with every
+//! role; [`IoEngine`] is the single pool that replaces all three. One
+//! engine per mount runs the per-server fan-out batches, the prefetch
+//! window jobs, the write-buffer drains, and the batched unlink — the
+//! thread count is fixed per mount, no matter how many files are open.
+//!
+//! Sharing one bounded pool between *nested* work (a drain job calls
+//! `set_many`, which submits per-server jobs back to the same engine and
+//! waits for them) would deadlock a conventional pool: every worker could
+//! be stuck in an outer job waiting for inner jobs nobody is free to run.
+//! The engine's [`TaskGroup`] therefore **helps while waiting**: a thread
+//! blocked on a group pops queued engine jobs and runs them itself until
+//! its group completes. Any waiter makes global progress, so a single
+//! worker — or even zero free workers — cannot wedge the engine.
 
-use std::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed-size worker pool. Dropping the pool waits for queued jobs to
-/// finish (important: a mount being dropped must not lose buffered
-/// stripes).
-pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+struct EngineState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Queue + signalling shared by workers, submitters, and helping waiters.
+struct EngineShared {
+    state: Mutex<EngineState>,
+    /// Woken on new work, on shutdown, and on task-group completion (the
+    /// helping wait blocks on the same condvar as the workers, so a
+    /// group finishing must be able to wake it).
+    cv: Condvar,
+}
+
+impl EngineShared {
+    /// Pop-or-wait loop shared by workers and helping waiters. Returns
+    /// `None` when `stop` says to give up (worker shutdown / group done).
+    fn next_job(&self, stop: impl Fn(&EngineState) -> bool) -> Option<Job> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                return Some(job);
+            }
+            if stop(&state) {
+                return None;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+}
+
+/// A fixed-size shared worker pool with deadlock-free nested waiting.
+///
+/// Dropping the engine drains the remaining queue (a mount being dropped
+/// must not lose buffered stripes) and joins the workers.
+pub struct IoEngine {
+    shared: Arc<EngineShared>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl ThreadPool {
+impl IoEngine {
     /// Spawn `size` workers named `name-<i>`.
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize, name: &str) -> Self {
-        assert!(size > 0, "thread pool needs at least one worker");
-        let (sender, receiver) = unbounded::<Job>();
+        assert!(size > 0, "io engine needs at least one worker");
+        let shared = Arc::new(EngineShared {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
         let workers = (0..size)
             .map(|i| {
-                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || {
-                        // The channel closing is the shutdown signal.
-                        while let Ok(job) = rx.recv() {
+                        // Shutdown with an empty queue is the exit signal;
+                        // a non-empty queue is always drained first.
+                        while let Some(job) = shared.next_job(|state| state.shutdown) {
                             job();
                         }
                     })
-                    .expect("spawn pool worker")
+                    .expect("spawn engine worker")
             })
             .collect();
-        ThreadPool {
-            sender: Some(sender),
-            workers,
-        }
+        IoEngine { shared, workers }
     }
 
     /// Number of workers.
@@ -54,65 +104,86 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Queue a job.
-    ///
-    /// # Panics
-    /// Panics if the pool is shutting down (cannot happen through the
-    /// public API: submission requires `&self` while drop takes ownership).
+    /// Queue a job. Jobs submitted from inside other jobs (nested fan-out)
+    /// are accepted even while the engine is shutting down; the drop-side
+    /// drain runs them.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.sender
-            .as_ref()
-            .expect("pool alive while borrowed")
-            .send(Box::new(job))
-            .expect("pool workers alive while pool is alive");
+        let mut state = self.shared.state.lock();
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.cv.notify_one();
+    }
+
+    /// A completion group for `n` jobs about to be submitted. Each job
+    /// calls [`TaskGroup::done`]; the submitter calls [`TaskGroup::wait`],
+    /// which runs queued engine jobs while it waits.
+    pub fn group(&self, n: usize) -> Arc<TaskGroup> {
+        Arc::new(TaskGroup {
+            remaining: AtomicUsize::new(n),
+            shared: Arc::clone(&self.shared),
+        })
     }
 }
 
-impl Drop for ThreadPool {
+impl Drop for IoEngine {
     fn drop(&mut self) {
-        // Close the channel; workers drain remaining jobs and exit.
-        drop(self.sender.take());
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        // The last Arc to a pool riding this engine can be dropped *by a
+        // queued job*, i.e. on one of our own workers: joining ourselves
+        // would deadlock, so that one thread is detached instead (it still
+        // drains and exits on its own; there is no caller left to wait).
+        let me = std::thread::current().id();
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            if w.thread().id() != me {
+                let _ = w.join();
+            }
         }
     }
 }
 
-/// Completion barrier for a known number of pooled jobs: the submitter
-/// creates it with the job count, each job calls [`WaitGroup::done`] as it
-/// finishes, and [`WaitGroup::wait`] blocks until the count reaches zero.
+/// Completion rendezvous for a batch of engine jobs.
 ///
-/// This is the fan-out dispatcher's rendezvous: per-server batches are
-/// queued on the pool, the caller runs one batch itself, then waits here
-/// for the rest — so a window costs `max(server RTT)`, not the sum.
-pub struct WaitGroup {
-    remaining: Mutex<usize>,
-    cv: Condvar,
+/// This is the fan-out dispatcher's barrier: per-server batches are queued
+/// on the engine, the caller runs one batch itself, then waits here for
+/// the rest — so a window costs `max(server RTT)`, not the sum. Unlike a
+/// plain waitgroup, [`TaskGroup::wait`] *helps*: while its jobs are still
+/// queued it pops and runs engine jobs (its own or anyone's), which is
+/// what lets nested batch operations share one bounded pool.
+pub struct TaskGroup {
+    remaining: AtomicUsize,
+    shared: Arc<EngineShared>,
 }
 
-impl WaitGroup {
-    /// A group expecting `n` completions.
-    pub fn new(n: usize) -> Self {
-        WaitGroup {
-            remaining: Mutex::new(n),
-            cv: Condvar::new(),
-        }
-    }
-
+impl TaskGroup {
     /// Record one completion.
     pub fn done(&self) {
-        let mut n = self.remaining.lock().expect("waitgroup lock");
-        *n = n.checked_sub(1).expect("more done() calls than group size");
-        if *n == 0 {
-            self.cv.notify_all();
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "more done() calls than group size");
+        if prev == 1 {
+            // Lock-then-notify so a waiter that just checked the counter
+            // under the lock cannot miss the wakeup.
+            drop(self.shared.state.lock());
+            self.shared.cv.notify_all();
         }
     }
 
-    /// Block until every expected completion has been recorded.
+    /// Whether every expected completion has been recorded.
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Block until the group completes, running queued engine jobs while
+    /// waiting (the deadlock-freedom guarantee for nested submissions).
     pub fn wait(&self) {
-        let mut n = self.remaining.lock().expect("waitgroup lock");
-        while *n > 0 {
-            n = self.cv.wait(n).expect("waitgroup wait");
+        while !self.is_done() {
+            match self.shared.next_job(|_| self.is_done()) {
+                Some(job) => job(),
+                None => return,
+            }
         }
     }
 }
@@ -125,28 +196,28 @@ mod tests {
 
     #[test]
     fn executes_all_jobs() {
-        let pool = ThreadPool::new(4, "test");
+        let engine = IoEngine::new(4, "test");
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
             let c = Arc::clone(&counter);
-            pool.execute(move || {
+            engine.execute(move || {
                 c.fetch_add(1, Ordering::SeqCst);
             });
         }
-        drop(pool); // waits for completion
+        drop(engine); // waits for completion
         assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
 
     #[test]
     fn jobs_run_concurrently() {
         use std::sync::{Condvar, Mutex};
-        let pool = ThreadPool::new(2, "conc");
+        let engine = IoEngine::new(2, "conc");
         let rendezvous = Arc::new((Mutex::new(0usize), Condvar::new()));
         // Two jobs that each wait for the other: only completes if the
-        // pool really runs two jobs in parallel.
+        // engine really runs two jobs in parallel.
         for _ in 0..2 {
             let r = Arc::clone(&rendezvous);
-            pool.execute(move || {
+            engine.execute(move || {
                 let (lock, cv) = &*r;
                 let mut n = lock.lock().unwrap();
                 *n += 1;
@@ -156,51 +227,106 @@ mod tests {
                 }
             });
         }
-        drop(pool);
+        drop(engine);
         assert_eq!(*rendezvous.0.lock().unwrap(), 2);
     }
 
     #[test]
     fn drop_drains_queue() {
-        let pool = ThreadPool::new(1, "drain");
+        let engine = IoEngine::new(1, "drain");
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
-            pool.execute(move || {
+            engine.execute(move || {
                 std::thread::yield_now();
                 c.fetch_add(1, Ordering::SeqCst);
             });
         }
-        drop(pool);
+        drop(engine);
         assert_eq!(counter.load(Ordering::SeqCst), 50);
     }
 
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
-        ThreadPool::new(0, "bad");
+        IoEngine::new(0, "bad");
     }
 
     #[test]
-    fn waitgroup_blocks_until_all_done() {
-        let pool = ThreadPool::new(4, "wg");
-        let wg = Arc::new(WaitGroup::new(8));
+    fn task_group_blocks_until_all_done() {
+        let engine = IoEngine::new(4, "wg");
+        let tg = engine.group(8);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..8 {
-            let wg = Arc::clone(&wg);
+            let tg = Arc::clone(&tg);
             let c = Arc::clone(&counter);
-            pool.execute(move || {
+            engine.execute(move || {
                 c.fetch_add(1, Ordering::SeqCst);
-                wg.done();
+                tg.done();
             });
         }
-        wg.wait();
-        // wait() returning proves every job ran, before the pool drops.
+        tg.wait();
+        // wait() returning proves every job ran, before the engine drops.
         assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 
     #[test]
-    fn waitgroup_of_zero_never_blocks() {
-        WaitGroup::new(0).wait();
+    fn task_group_of_zero_never_blocks() {
+        let engine = IoEngine::new(1, "zero");
+        engine.group(0).wait();
+    }
+
+    #[test]
+    fn nested_groups_on_one_worker_cannot_deadlock() {
+        // A single-worker engine runs an outer job that submits two inner
+        // jobs and waits for them. A non-helping pool would deadlock: the
+        // only worker is inside the outer job. The helping wait runs the
+        // inner jobs on the blocked thread itself.
+        let engine = Arc::new(IoEngine::new(1, "nested"));
+        let outer = engine.group(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let engine = Arc::clone(&engine);
+            let outer = Arc::clone(&outer);
+            let hits = Arc::clone(&hits);
+            engine.clone().execute(move || {
+                let inner = engine.group(2);
+                for _ in 0..2 {
+                    let inner = Arc::clone(&inner);
+                    let hits = Arc::clone(&hits);
+                    engine.execute(move || {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        inner.done();
+                    });
+                }
+                inner.wait();
+                outer.done();
+            });
+        }
+        outer.wait();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn waiters_help_even_with_all_workers_blocked() {
+        // Two workers, both occupied by outer jobs that each wait on an
+        // inner job; the inner jobs are queued behind them. Progress
+        // requires the blocked outer jobs to help.
+        let engine = Arc::new(IoEngine::new(2, "helpers"));
+        let all = engine.group(2);
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let all = Arc::clone(&all);
+            engine.clone().execute(move || {
+                let inner = engine.group(1);
+                {
+                    let inner = Arc::clone(&inner);
+                    engine.execute(move || inner.done());
+                }
+                inner.wait();
+                all.done();
+            });
+        }
+        all.wait();
     }
 }

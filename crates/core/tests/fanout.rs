@@ -274,6 +274,10 @@ impl KvClient for RendezvousClient {
         self.rendezvous();
         self.inner.set_many(items)
     }
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        self.rendezvous();
+        self.inner.delete_many(keys)
+    }
 }
 
 #[test]
@@ -329,6 +333,42 @@ fn per_server_batches_really_run_in_parallel() {
         assert!(
             c.full_house.load(Ordering::SeqCst),
             "server {i}'s get batch never saw all {N} batches in flight"
+        );
+    }
+}
+
+#[test]
+fn per_server_delete_batches_run_in_parallel() {
+    // The unlink path frees stripes via `delete_many`; its per-server
+    // batches must overlap just like reads and writes do.
+    const N: usize = 4;
+    let arrived = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let rendezvous: Vec<Arc<RendezvousClient>> = (0..N)
+        .map(|_| {
+            Arc::new(RendezvousClient::new(
+                Arc::new(Store::new(StoreConfig::default())),
+                Arc::clone(&arrived),
+                N,
+            ))
+        })
+        .collect();
+    let clients: Vec<Arc<dyn KvClient>> = rendezvous
+        .iter()
+        .map(|c| Arc::clone(c) as Arc<dyn KvClient>)
+        .collect();
+    let pool = ServerPool::new(clients, DistributorKind::default());
+
+    let keys = stripe_like_keys(64);
+    for k in &keys {
+        pool.set(k, Bytes::from_static(b"doomed")).unwrap();
+    }
+    for r in pool.delete_many(&keys) {
+        assert!(r.unwrap(), "every key existed and must report deleted");
+    }
+    for (i, c) in rendezvous.iter().enumerate() {
+        assert!(
+            c.full_house.load(Ordering::SeqCst),
+            "server {i}'s delete batch never saw all {N} batches in flight"
         );
     }
 }

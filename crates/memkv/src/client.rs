@@ -56,6 +56,17 @@ pub trait KvClient: Send + Sync {
     fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
         Ok(items.iter().map(|(k, v)| self.set(k, v.clone())).collect())
     }
+    /// Remove several keys in one round trip, returning one result per key
+    /// in request order. Same error split as [`KvClient::get_many`];
+    /// per-key misses surface as inner
+    /// [`KvError::NotFound`](crate::error::KvError::NotFound).
+    ///
+    /// The default loops over [`KvClient::delete`]; pipelining transports
+    /// override it — freeing a striped file's stripes should not cost one
+    /// round trip each.
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        Ok(keys.iter().map(|k| self.delete(k)).collect())
+    }
     /// Whether a key exists (no read traffic accounted).
     fn contains(&self, key: &[u8]) -> bool {
         self.get(key).is_ok()
@@ -237,6 +248,11 @@ impl<C: KvClient> KvClient for ThrottledClient<C> {
         self.delay(0);
         self.inner.delete(key)
     }
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        // One round trip for the whole batch (deletes carry no payload).
+        self.delay(0);
+        self.inner.delete_many(keys)
+    }
     fn contains(&self, key: &[u8]) -> bool {
         self.inner.contains(key)
     }
@@ -317,6 +333,10 @@ impl<C: KvClient> KvClient for FailableClient<C> {
         self.check()?;
         self.inner.delete(key)
     }
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        self.check()?;
+        self.inner.delete_many(keys)
+    }
     fn contains(&self, key: &[u8]) -> bool {
         !self.is_down() && self.inner.contains(key)
     }
@@ -349,6 +369,9 @@ impl<C: KvClient + ?Sized> KvClient for Arc<C> {
     }
     fn delete(&self, key: &[u8]) -> KvResult<()> {
         (**self).delete(key)
+    }
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        (**self).delete_many(keys)
     }
     fn contains(&self, key: &[u8]) -> bool {
         (**self).contains(key)
@@ -396,6 +419,24 @@ mod tests {
         assert_eq!(out[2].as_ref().unwrap().as_ref(), b"2");
         // LocalClient routes the batch through the engine's batched path.
         assert_eq!(c.store().stats().snapshot().mget_ops, 1);
+    }
+
+    #[test]
+    fn delete_many_default_reports_per_key() {
+        let c = local();
+        c.set(b"a", Bytes::from_static(b"1")).unwrap();
+        c.set(b"b", Bytes::from_static(b"2")).unwrap();
+        let out = c
+            .delete_many(&[
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"missing"),
+                Bytes::from_static(b"b"),
+            ])
+            .unwrap();
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(crate::error::KvError::NotFound)));
+        assert!(out[2].is_ok());
+        assert!(!c.contains(b"a") && !c.contains(b"b"));
     }
 
     #[test]

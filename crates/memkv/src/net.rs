@@ -970,6 +970,27 @@ impl KvClient for TcpClient {
             other => Err(response_error(other)),
         }
     }
+
+    fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One pipelined frame per key on a single leased connection —
+        // delete is idempotent, so a dropped connection replays safely.
+        let reqs: Vec<Request> = keys
+            .iter()
+            .map(|key| Request::Delete { key: key.clone() })
+            .collect();
+        Ok(self
+            .exchange(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Deleted => Ok(()),
+                Response::NotFound => Err(KvError::NotFound),
+                other => Err(response_error(other)),
+            })
+            .collect())
+    }
 }
 
 fn response_error(resp: Response) -> KvError {
@@ -1180,6 +1201,34 @@ mod tests {
         }
         // 100 keys at 16 per frame = 7 pipelined multi-get batches.
         assert_eq!(server.store().stats().snapshot().mget_ops, 7);
+    }
+
+    #[test]
+    fn tcp_delete_many_pipelines_and_reports_misses() {
+        let server = spawn_server();
+        let client = TcpClient::connect_with(
+            server.addr(),
+            PoolConfig {
+                connections: 1,
+                max_batch_keys: 64,
+            },
+        )
+        .unwrap();
+        client.set(b"a", Bytes::from_static(b"1")).unwrap();
+        client.set(b"b", Bytes::from_static(b"2")).unwrap();
+        let out = client
+            .delete_many(&[
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"missing"),
+                Bytes::from_static(b"b"),
+            ])
+            .unwrap();
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(KvError::NotFound)));
+        assert!(out[2].is_ok());
+        assert_eq!(server.store().item_count(), 0);
+        // All three deletes travelled as pipelined frames on one socket.
+        assert_eq!(server.store().stats().snapshot().delete_ops, 3);
     }
 
     #[test]

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Record the concurrent fan-out speedup to BENCH_pr2.json.
+# Record the concurrent fan-out speedup to BENCH_pr3.json.
 #
 #   scripts/bench_record.sh
 #
 # Runs the self-timed `fanout_record` binary (same experiment as
 # `crates/bench/benches/fanout.rs`, gigabit-Ethernet-shaped in-process
 # servers) and writes its JSON report to the repo root. The binary exits
-# non-zero if the acceptance bar — parallel read bandwidth >= 2.5x the
-# sequential dispatcher at 4 servers — is missed, failing this script.
+# non-zero if any acceptance bar is missed, failing this script: at 4
+# servers, parallel read bandwidth >= 2.5x sequential, parallel write
+# bandwidth >= 2x sequential, and single-stripe sequential reads must
+# spread their batches over every server (max/min <= 2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_pr2.json"
+out="BENCH_pr3.json"
 echo "==> cargo run --release -p memfs-bench --bin fanout_record"
 cargo run --release -p memfs-bench --bin fanout_record > "$out"
 echo "==> wrote $out"

@@ -40,8 +40,17 @@ for arg in "$@"; do
         for round in 1 2 3 4 5; do
             echo "  -- round $round"
             RUST_TEST_THREADS=16 cargo test -q -p memfs-core --test fanout
+            # engine_sharing counts process-wide threads: own binary, one test.
+            cargo test -q -p memfs-core --test engine_sharing
             RUST_TEST_THREADS=16 cargo test -q -p memfs-core --lib -- \
                 threadpool:: pool:: prefetch:: bufwrite::
+            # Error-injection regressions: prefetch wedge recovery,
+            # concurrent-miss coalescing, zombie unlink.
+            RUST_TEST_THREADS=16 cargo test -q -p memfs-core --lib -- \
+                prefetch_recovers_after_transient_errors \
+                concurrent_misses_coalesce_into_one_fetch \
+                cache_never_exceeds_capacity_under_random_ops \
+                unlink_open_file
         done
         ;;
     *)
