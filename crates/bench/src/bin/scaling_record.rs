@@ -1,0 +1,136 @@
+//! Record evented-transport scaling to JSON (`BENCH_pr4.json`).
+//!
+//! Real-TCP clusters of 1/2/4/8 storage servers, each behind a
+//! bandwidth-capped shaped proxy (6 MiB/s per server — the server link,
+//! not loopback, is the bottleneck). Pool-level batched `set_many` /
+//! `get_many` aggregate throughput is measured with `io_parallelism = 1`
+//! (sequential per-server dispatch) and `io_parallelism = 0` (evented
+//! full fan-out: every server's batch in flight from one caller thread).
+//!
+//! Acceptance bars: with fan-out, the 8-server aggregate read and write
+//! throughput must each be ≥ 1.5x the 4-server figure — the plateau the
+//! blocking transport hit when a fan-out cost one engine worker per
+//! server.
+//!
+//! Usage: `cargo run --release -p memfs-bench --bin scaling_record`
+//! (JSON to stdout; `scripts/bench_record.sh` writes `BENCH_pr4.json`
+//! and enforces the bars).
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use memfs_core::{DistributorKind, ServerPool};
+use memfs_memkv::net::PoolConfig;
+use memfs_memkv::testutil::{seed_from_env, Rng, Shape, ShapedCluster};
+
+const SERVER_BPS: u64 = 6 << 20;
+const VALUE_BYTES: usize = 64 * 1024;
+const VALUES_PER_SERVER: usize = 16;
+const ROUNDS: usize = 3;
+
+fn balanced_items(pool: &ServerPool, rng: &mut Rng) -> Vec<(Bytes, Bytes)> {
+    let n = pool.n_servers();
+    let mut remaining: Vec<usize> = vec![VALUES_PER_SERVER; n];
+    let mut left = n * VALUES_PER_SERVER;
+    let mut items = Vec::with_capacity(left);
+    let value = Bytes::from(vec![0xB7u8; VALUE_BYTES]);
+    while left > 0 {
+        let key = Bytes::from(format!("s:/f{:016x}#0", rng.next_u64()));
+        let server = pool.server_for(&key).0;
+        if remaining[server] > 0 {
+            remaining[server] -= 1;
+            left -= 1;
+            items.push((key, value.clone()));
+        }
+    }
+    items
+}
+
+/// Best-of-rounds aggregate (write_bps, read_bps).
+fn measure(n: usize, io_parallelism: usize, rng: &mut Rng) -> (f64, f64) {
+    let mut best_write = 0f64;
+    let mut best_read = 0f64;
+    for _ in 0..ROUNDS {
+        let cluster = ShapedCluster::spawn(n, Shape::throttled(SERVER_BPS));
+        let pool = ServerPool::with_options(
+            cluster.clients(PoolConfig::default()),
+            DistributorKind::default(),
+            1,
+            io_parallelism,
+        );
+        let items = balanced_items(&pool, rng);
+        let keys: Vec<Bytes> = items.iter().map(|(k, _)| k.clone()).collect();
+        let total = (items.len() * VALUE_BYTES) as f64;
+
+        let start = Instant::now();
+        pool.set_many(&items).expect("shaped set_many");
+        best_write = best_write.max(total / start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for r in pool.get_many(&keys) {
+            assert_eq!(r.expect("shaped get_many").len(), VALUE_BYTES);
+        }
+        best_read = best_read.max(total / start.elapsed().as_secs_f64());
+    }
+    (best_write, best_read)
+}
+
+fn main() {
+    let seed = seed_from_env();
+    eprintln!("scaling_record seed: {seed} (set MEMFS_SHAPE_SEED to reproduce)");
+    let mut rng = Rng::new(seed);
+    let mut rows = String::new();
+    let mut fan_read = [0f64; 2]; // [at 4, at 8]
+    let mut fan_write = [0f64; 2];
+    for (i, n) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let (seq_write, seq_read) = measure(n, 1, &mut rng);
+        let (par_write, par_read) = measure(n, 0, &mut rng);
+        if n == 4 {
+            fan_write[0] = par_write;
+            fan_read[0] = par_read;
+        } else if n == 8 {
+            fan_write[1] = par_write;
+            fan_read[1] = par_read;
+        }
+        eprintln!(
+            "servers={n}: write {:.1} -> {:.1} MB/s, read {:.1} -> {:.1} MB/s (seq -> fanout)",
+            seq_write / 1e6,
+            par_write / 1e6,
+            seq_read / 1e6,
+            par_read / 1e6,
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"servers\": {n}, \
+             \"write_seq_bps\": {seq_write:.0}, \"write_fanout_bps\": {par_write:.0}, \
+             \"read_seq_bps\": {seq_read:.0}, \"read_fanout_bps\": {par_read:.0}}}"
+        ));
+    }
+    let write_scale = fan_write[1] / fan_write[0];
+    let read_scale = fan_read[1] / fan_read[0];
+    let write_pass = write_scale >= 1.5;
+    let read_pass = read_scale >= 1.5;
+    let pass = write_pass && read_pass;
+    eprintln!("8v4 scaling: write {write_scale:.2}x, read {read_scale:.2}x (bar 1.5x)");
+    println!(
+        "{{\n  \"bench\": \"evented_scaling\",\n  \
+         \"shaping\": {{\"server_bandwidth_bps\": {SERVER_BPS}, \"transport\": \"tcp+shaped-proxy\"}},\n  \
+         \"payload\": {{\"value_bytes\": {VALUE_BYTES}, \"values_per_server\": {VALUES_PER_SERVER}}},\n  \
+         \"seed\": {seed},\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"acceptance\": {{\"metric\": \"8-server vs 4-server aggregate fan-out throughput\", \
+         \"bar\": 1.5, \"write_scale\": {write_scale:.3}, \"read_scale\": {read_scale:.3}, \
+         \"pass\": {pass}}}\n}}"
+    );
+    if !write_pass {
+        eprintln!("FAIL: 8v4 write scaling {write_scale:.2}x < 1.5x");
+    }
+    if !read_pass {
+        eprintln!("FAIL: 8v4 read scaling {read_scale:.2}x < 1.5x");
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -54,9 +54,11 @@ pub struct MemFsConfig {
     /// transport (the [`memfs_memkv::PoolConfig::connections`] knob).
     /// In-process mounts ignore it.
     pub pool_connections: usize,
-    /// Dispatcher workers fanning per-server batches out concurrently
+    /// How many per-server batches a fan-out keeps on the wire at once
     /// (paper §3.2.2: symmetrical striping drives all N servers at once).
-    /// `0` means auto — one worker per server, the full-fan-out default;
+    /// Evented transports treat this as an in-flight submit budget on the
+    /// calling thread; blocking transports as a dispatcher worker count.
+    /// `0` means auto — full fan-out, every server busy concurrently;
     /// `1` forces sequential per-server dispatch (a bench baseline).
     pub io_parallelism: usize,
     /// Key distribution scheme.
@@ -197,10 +199,10 @@ impl MemFsConfig {
         self
     }
 
-    /// Builder-style setter for the fan-out dispatcher width (`0` = one
-    /// worker per server, `1` = sequential dispatch).
-    pub fn with_io_parallelism(mut self, workers: usize) -> Self {
-        self.io_parallelism = workers;
+    /// Builder-style setter for the fan-out width (`0` = full fan-out,
+    /// `1` = sequential dispatch).
+    pub fn with_io_parallelism(mut self, width: usize) -> Self {
+        self.io_parallelism = width;
         self
     }
 }

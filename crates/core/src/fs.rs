@@ -71,6 +71,12 @@ const UNLINK_BATCH: usize = 1024;
 /// many stripe keys per round until a round deletes nothing.
 const PROBE_BATCH: usize = 64;
 
+/// Unlink rounds kept in flight at once: [`UNLINK_BATCH`]-keyed
+/// `delete_many` rounds overlap on the engine so freeing a deep file
+/// pays one round-trip latency per `UNLINK_PIPELINE` rounds, not per
+/// round.
+const UNLINK_PIPELINE: usize = 4;
+
 fn stripe_key_bytes(path: &str, stripe: u64) -> Bytes {
     Bytes::from(KeySchema::stripe_key(path, stripe))
 }
@@ -90,18 +96,25 @@ impl MemFs {
         if let Err(msg) = config.validate() {
             return Err(MemFsError::InvalidPath(format!("config: {msg}")));
         }
-        // One engine for the whole mount: its workers run the per-server
-        // fan-out batches *and* the drain/prefetch jobs that submit them
-        // (nested submission is deadlock-free — waiters help, see
-        // [`IoEngine`]). Sized by the config, independent of open files.
+        // One engine for the whole mount: its workers run the drain and
+        // prefetch jobs, plus the per-server fan-out batches when the
+        // clients are blocking (nested submission is deadlock-free —
+        // waiters help, see [`IoEngine`]). Evented clients fan out on the
+        // caller's thread under the `io_parallelism` budget instead, so
+        // the engine is sized for background jobs only.
         let n = servers.len();
-        let engine = Arc::new(IoEngine::new(config.engine_threads(n), "memfs-io"));
-        let fanout = config.io_parallelism != 1 && n > 1;
+        let evented = n > 1 && servers.iter().all(|c| c.supports_submit());
+        let engine = Arc::new(IoEngine::new(
+            config.engine_threads(if evented { 1 } else { n }),
+            "memfs-io",
+        ));
+        let fanout = !evented && config.io_parallelism != 1 && n > 1;
         let pool = Arc::new(ServerPool::with_engine(
             servers,
             config.distributor,
             config.replication,
             fanout.then(|| Arc::clone(&engine)),
+            config.io_parallelism,
         ));
         Self::mount(pool, config, engine)
     }
@@ -411,9 +424,38 @@ impl MemFs {
     /// a storage error aborts so the size record stays behind as the
     /// marker that stripes may remain.
     fn delete_stripe_batch(&self, keys: &[Bytes]) -> MemFsResult<()> {
-        for chunk in keys.chunks(UNLINK_BATCH) {
-            for res in self.inner.pool.delete_many(chunk) {
-                res?;
+        let first_err = |results: Vec<MemFsResult<bool>>| results.into_iter().find_map(|r| r.err());
+        let chunks: Vec<&[Bytes]> = keys.chunks(UNLINK_BATCH).collect();
+        // Rounds overlap in waves of UNLINK_PIPELINE: the engine runs all
+        // but the last chunk of a wave while the caller's thread runs
+        // that one, so a deep file's delete rounds pay overlapping
+        // round-trip latencies instead of strictly sequential ones.
+        for wave in chunks.chunks(UNLINK_PIPELINE) {
+            let (&inline_chunk, spawned) = wave.split_last().expect("chunks are non-empty");
+            let shared: Arc<std::sync::Mutex<Option<MemFsError>>> =
+                Arc::new(std::sync::Mutex::new(None));
+            let tg = self.inner.engine.group(spawned.len());
+            for &chunk in spawned {
+                let chunk: Vec<Bytes> = chunk.to_vec();
+                let pool = Arc::clone(&self.inner.pool);
+                let shared = Arc::clone(&shared);
+                let tg = Arc::clone(&tg);
+                self.inner.engine.execute(move || {
+                    if let Some(e) = pool.delete_many(&chunk).into_iter().find_map(|r| r.err()) {
+                        shared.lock().expect("unlink errs lock").get_or_insert(e);
+                    }
+                    tg.done();
+                });
+            }
+            let inline_err = first_err(self.inner.pool.delete_many(inline_chunk));
+            tg.wait();
+            let err = shared
+                .lock()
+                .expect("unlink errs lock")
+                .take()
+                .or(inline_err);
+            if let Some(e) = err {
+                return Err(e);
             }
         }
         Ok(())
@@ -423,20 +465,75 @@ impl MemFs {
     /// unknown (only the crashed writer knew), but stripes are written
     /// sequentially, so probe forward in batches until a whole batch
     /// reports nothing deleted.
+    ///
+    /// Rounds are speculatively pipelined at depth 2: while round `r` is
+    /// being decided, round `r + 1` is already on the wire (on the
+    /// engine). If `r` turns out to be the last round, the speculative
+    /// deletes beyond the end are harmless no-ops — deleting an absent
+    /// stripe is `Ok(false)` — so half the round-trip latencies vanish
+    /// from the zombie-free path without changing its outcome.
     fn probe_delete_stripes(&self, p: &str) -> MemFsResult<()> {
-        let mut next = 0u64;
-        loop {
+        type RoundResult = Arc<std::sync::Mutex<Option<MemFsResult<bool>>>>;
+        let spawn_round = |next: u64| -> (Arc<crate::threadpool::TaskGroup>, RoundResult) {
             let keys: Vec<Bytes> = (next..next + PROBE_BATCH as u64)
                 .map(|s| stripe_key_bytes(p, s))
                 .collect();
-            let mut any = false;
-            for res in self.inner.pool.delete_many(&keys) {
-                any |= res?;
+            let out: RoundResult = Arc::new(std::sync::Mutex::new(None));
+            let tg = self.inner.engine.group(1);
+            let pool = Arc::clone(&self.inner.pool);
+            let job_out = Arc::clone(&out);
+            let job_tg = Arc::clone(&tg);
+            self.inner.engine.execute(move || {
+                let mut result: MemFsResult<bool> = Ok(false);
+                for res in pool.delete_many(&keys) {
+                    match res {
+                        Ok(deleted) => {
+                            if let Ok(any) = result.as_mut() {
+                                *any |= deleted;
+                            }
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                *job_out.lock().expect("probe round lock") = Some(result);
+                job_tg.done();
+            });
+            (tg, out)
+        };
+        let mut current = spawn_round(0);
+        let mut next = PROBE_BATCH as u64;
+        loop {
+            let speculative = spawn_round(next);
+            current.0.wait();
+            let any = current
+                .1
+                .lock()
+                .expect("probe round lock")
+                .take()
+                .expect("round completed");
+            // Always settle the speculative round too — even on error or
+            // completion — so no job outlives the unlink call.
+            let settle = |(tg, out): (Arc<crate::threadpool::TaskGroup>, RoundResult)| {
+                tg.wait();
+                out.lock().expect("probe round lock").take()
+            };
+            match any {
+                Err(e) => {
+                    let _ = settle(speculative);
+                    return Err(e);
+                }
+                Ok(false) => {
+                    let _ = settle(speculative);
+                    return Ok(());
+                }
+                Ok(true) => {
+                    current = speculative;
+                    next += PROBE_BATCH as u64;
+                }
             }
-            if !any {
-                return Ok(());
-            }
-            next += PROBE_BATCH as u64;
         }
     }
 

@@ -11,16 +11,23 @@
 //! the full bisection bandwidth). A `get_many` window therefore costs
 //! `max(server RTT)`, not `sum(server RTTs)`.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use memfs_hashring::{group_by_server, Distributor, KetamaRing, ModuloRing, ServerId};
-use memfs_memkv::{KvClient, KvError};
+use memfs_memkv::error::KvResult;
+use memfs_memkv::{Deferred, KvClient, KvError};
 
 use crate::config::DistributorKind;
 use crate::error::{MemFsError, MemFsResult};
 use crate::threadpool::IoEngine;
+
+/// One server's share of a keyed batch: the original key indices paired
+/// with the keys themselves, kept together through the submit window so
+/// completions can write results back in input order.
+type KeyedBatch = (Vec<usize>, Vec<Bytes>);
 
 /// Per-server I/O counters, updated by every batched dispatch.
 ///
@@ -137,13 +144,47 @@ impl PoolCore {
         Err(last_err.expect("replication >= 1").into())
     }
 
+    /// Replica-chain fallback for one key after server `failed` erred with
+    /// `err`. The failed server is **skipped** — retrying it per key would
+    /// multiply its failure latency by the batch size (fatal when the
+    /// failure is a response timeout). Without surviving replicas the
+    /// original error is surfaced.
+    fn get_fallback(&self, key: &[u8], failed: usize, err: &KvError) -> MemFsResult<Bytes> {
+        let mut last_err: Option<KvError> = None;
+        for id in self.servers_for(key) {
+            if id.0 == failed {
+                continue;
+            }
+            match self.client(id).get(key) {
+                Ok(v) => return Ok(v),
+                Err(e @ KvError::NotFound) => return Err(e.into()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| err.duplicate()).into())
+    }
+
     /// One server's share of a `get_many`: a single batched multi-get,
     /// with per-key replica-chain fallback on transport failure. Runs on
     /// dispatcher workers; must never re-enter a pool-level batch op.
     fn fetch_group(&self, server: usize, batch: &[Bytes]) -> Vec<MemFsResult<Bytes>> {
         let io = &self.stats.servers[server];
         let _in_flight = io.track(batch.len());
-        match self.clients[server].get_many(batch) {
+        let result = self.clients[server].get_many(batch);
+        self.finish_fetch(server, batch, result)
+    }
+
+    /// Resolve one server's multi-get replies against the replica chain —
+    /// the completion half shared by the engine path ([`fetch_group`]
+    /// above) and the evented submit-window path.
+    fn finish_fetch(
+        &self,
+        server: usize,
+        batch: &[Bytes],
+        result: KvResult<Vec<KvResult<Bytes>>>,
+    ) -> Vec<MemFsResult<Bytes>> {
+        let io = &self.stats.servers[server];
+        match result {
             Ok(results) => batch
                 .iter()
                 .zip(results)
@@ -151,20 +192,20 @@ impl PoolCore {
                     Ok(v) => Ok(v),
                     Err(KvError::NotFound) => Err(KvError::NotFound.into()),
                     // Per-key transport/server error: replica chain.
-                    Err(_) => {
+                    Err(e) => {
                         io.bump_fallback();
-                        self.get(key)
+                        self.get_fallback(key, server, &e)
                     }
                 })
                 .collect(),
             // Whole-batch transport failure: fall back key by key so
             // replicas (if any) still serve this server's share while the
             // other servers' batches proceed untouched.
-            Err(_) => batch
+            Err(e) => batch
                 .iter()
                 .map(|key| {
                     io.bump_fallback();
-                    self.get(key)
+                    self.get_fallback(key, server, &e)
                 })
                 .collect(),
         }
@@ -175,33 +216,42 @@ impl PoolCore {
     fn store_group(&self, server: usize, batch: &[(Bytes, Bytes)]) -> Option<MemFsError> {
         let io = &self.stats.servers[server];
         let _in_flight = io.track(batch.len());
-        match self.clients[server].set_many(batch) {
-            Ok(results) => results.into_iter().find_map(|r| r.err()).map(Into::into),
-            Err(e) => Some(e.into()),
-        }
+        let result = self.clients[server].set_many(batch);
+        finish_store(result)
     }
 
     /// One server's share of a `delete_many`: a single pipelined batch of
-    /// deletes, with per-key fallback if the whole batch transport fails
-    /// (delete is idempotent, so the retry is safe).
+    /// deletes. (The transport already replays idempotent batches once on
+    /// a dropped connection; a batch that still fails maps its error onto
+    /// every key so the cross-replica aggregate can absorb it.)
     fn erase_group(&self, server: usize, batch: &[Bytes]) -> Vec<Erase> {
         let io = &self.stats.servers[server];
         let _in_flight = io.track(batch.len());
-        let map = |r: Result<(), KvError>| match r {
-            Ok(()) => Erase::Deleted,
-            Err(KvError::NotFound) => Erase::Missing,
-            Err(e) => Erase::Failed(e.into()),
-        };
-        match self.clients[server].delete_many(batch) {
-            Ok(results) => results.into_iter().map(map).collect(),
-            Err(_) => batch
-                .iter()
-                .map(|key| {
-                    io.bump_fallback();
-                    map(self.clients[server].delete(key))
-                })
-                .collect(),
-        }
+        let result = self.clients[server].delete_many(batch);
+        finish_erase(batch.len(), result)
+    }
+}
+
+/// Reduce one server's `set_many` replies to the first error, if any.
+fn finish_store(result: KvResult<Vec<KvResult<()>>>) -> Option<MemFsError> {
+    match result {
+        Ok(results) => results.into_iter().find_map(|r| r.err()).map(Into::into),
+        Err(e) => Some(e.into()),
+    }
+}
+
+/// Map one server's `delete_many` replies to per-key [`Erase`] outcomes.
+fn finish_erase(batch_len: usize, result: KvResult<Vec<KvResult<()>>>) -> Vec<Erase> {
+    let map = |r: Result<(), KvError>| match r {
+        Ok(()) => Erase::Deleted,
+        Err(KvError::NotFound) => Erase::Missing,
+        Err(e) => Erase::Failed(e.into()),
+    };
+    match result {
+        Ok(results) => results.into_iter().map(map).collect(),
+        Err(e) => (0..batch_len)
+            .map(|_| Erase::Failed(e.duplicate().into()))
+            .collect(),
     }
 }
 
@@ -267,7 +317,19 @@ pub struct ServerPool {
     /// (`io_parallelism` resolved to 1, or a single server). Usually the
     /// mount's shared [`IoEngine`] (see [`ServerPool::with_engine`]), so
     /// fan-out, prefetch, and drains all ride one bounded worker set.
+    /// Unused for batched fan-out when every client has an evented submit
+    /// path (see `submit_capable`).
     engine: Option<Arc<IoEngine>>,
+    /// Every client has a true split submit/completion path
+    /// ([`KvClient::supports_submit`]). When true, batched operations fan
+    /// out through a submit window on the caller's thread — requests stay
+    /// in flight on every server concurrently while occupying **one**
+    /// thread — instead of parking one engine worker per server.
+    submit_capable: bool,
+    /// In-flight batch budget for the submit-window path, resolved from
+    /// `io_parallelism` (`0` → unlimited). Fan-out width is governed by
+    /// this budget, not by worker count.
+    budget: usize,
 }
 
 impl ServerPool {
@@ -294,10 +356,15 @@ impl ServerPool {
         Self::with_options(clients, kind, replication, 0)
     }
 
-    /// Build a pool with every knob explicit. `io_parallelism` is the
-    /// dispatcher worker count: `0` means auto (one worker per server, the
-    /// paper's full-fan-out shape), `1` forces sequential per-server
-    /// dispatch (the PR 1 behaviour, useful as a bench baseline).
+    /// Build a pool with every knob explicit. `io_parallelism` caps how
+    /// many per-server batches a fan-out keeps on the wire at once: `0`
+    /// means unlimited (the paper's full-fan-out shape), `1` forces
+    /// sequential per-server dispatch (the PR 1 behaviour, useful as a
+    /// bench baseline).
+    ///
+    /// For evented clients the cap is an in-flight submit budget on the
+    /// caller's thread; for blocking clients it is a dispatcher worker
+    /// count (resolved to one worker per server when `0`).
     ///
     /// # Panics
     /// Panics on an empty client list or an invalid replication factor.
@@ -312,18 +379,22 @@ impl ServerPool {
         } else {
             io_parallelism
         };
-        // One server (or parallelism forced to 1) has nothing to overlap:
-        // skip the worker threads entirely and dispatch inline.
-        let engine =
-            (workers > 1 && clients.len() > 1).then(|| Arc::new(IoEngine::new(workers, "pool-io")));
-        Self::with_engine(clients, kind, replication, engine)
+        // One server (or parallelism forced to 1) has nothing to overlap,
+        // and evented clients overlap without workers: in both cases skip
+        // the worker threads entirely.
+        let submit_capable = clients.iter().all(|c| c.supports_submit());
+        let engine = (!submit_capable && workers > 1 && clients.len() > 1)
+            .then(|| Arc::new(IoEngine::new(workers, "pool-io")));
+        Self::with_engine(clients, kind, replication, engine, io_parallelism)
     }
 
     /// Build a pool that dispatches its per-server batches on an existing
     /// shared [`IoEngine`] instead of spawning its own workers — the
     /// per-mount shape: one engine serves the pool fan-out *and* every
     /// open file's prefetch and drain jobs. `None` means sequential
-    /// inline dispatch.
+    /// inline dispatch. `io_parallelism` is the in-flight batch budget
+    /// used instead of the engine when every client is evented (`0` =
+    /// unlimited).
     ///
     /// # Panics
     /// Panics on an empty client list or an invalid replication factor.
@@ -332,6 +403,7 @@ impl ServerPool {
         kind: DistributorKind,
         replication: usize,
         engine: Option<Arc<IoEngine>>,
+        io_parallelism: usize,
     ) -> Self {
         assert!(!clients.is_empty(), "server pool needs at least one server");
         assert!(
@@ -346,13 +418,24 @@ impl ServerPool {
             }
         };
         let stats = PoolStats::new(clients.len());
+        let submit_capable = clients.len() > 1 && clients.iter().all(|c| c.supports_submit());
+        let budget = if io_parallelism == 0 {
+            usize::MAX
+        } else {
+            io_parallelism
+        };
         let core = Arc::new(PoolCore {
             clients,
             dist,
             replication,
             stats,
         });
-        ServerPool { core, engine }
+        ServerPool {
+            core,
+            engine,
+            submit_capable,
+            budget,
+        }
     }
 
     /// The engine this pool dispatches on, if fan-out is enabled.
@@ -366,9 +449,15 @@ impl ServerPool {
     }
 
     /// Effective dispatcher width: how many per-server batches can be on
-    /// the wire simultaneously.
+    /// the wire simultaneously. Evented pools report the in-flight submit
+    /// budget (capped at the server count — there is at most one batch
+    /// per server in a fan-out); engine pools report the worker count.
     pub fn io_parallelism(&self) -> usize {
-        self.engine.as_ref().map_or(1, |e| e.size())
+        if self.submit_capable && self.budget > 1 {
+            self.budget.min(self.n_servers())
+        } else {
+            self.engine.as_ref().map_or(1, |e| e.size())
+        }
     }
 
     /// Per-server dispatch counters.
@@ -451,6 +540,35 @@ impl ServerPool {
             .filter(|(_, group)| !group.is_empty())
             .collect();
         let mut out: Vec<Option<MemFsResult<Bytes>>> = (0..keys.len()).map(|_| None).collect();
+        if self.submit_capable && self.budget > 1 && work.len() > 1 {
+            // Evented path: every client supports split submit/completion,
+            // so the window keeps up to `budget` servers busy with zero
+            // engine workers.
+            let work: Vec<(usize, KeyedBatch)> = work
+                .into_iter()
+                .map(|(server, group)| {
+                    let batch: Vec<Bytes> = group.iter().map(|&i| keys[i].clone()).collect();
+                    (server, (group, batch))
+                })
+                .collect();
+            self.drive(
+                work,
+                |(_, batch)| batch.len(),
+                |server, (_, batch)| self.core.clients[server].start_get_many(batch),
+                |server, (group, batch), result| {
+                    for (&i, r) in group
+                        .iter()
+                        .zip(self.core.finish_fetch(server, &batch, result))
+                    {
+                        out[i] = Some(r);
+                    }
+                },
+            );
+            return out
+                .into_iter()
+                .map(|r| r.expect("every key grouped exactly once"))
+                .collect();
+        }
         match &self.engine {
             Some(engine) if work.len() > 1 => {
                 let shared = Arc::new(Mutex::new(out));
@@ -521,6 +639,18 @@ impl ServerPool {
             .collect();
         let mut errs: Vec<Option<MemFsError>> =
             (0..self.core.clients.len()).map(|_| None).collect();
+        if self.submit_capable && self.budget > 1 && work.len() > 1 {
+            self.drive(
+                work,
+                |batch: &Vec<(Bytes, Bytes)>| batch.len(),
+                |server, batch| self.core.clients[server].start_set_many(batch),
+                |server, _, result| errs[server] = finish_store(result),
+            );
+            return match errs.into_iter().flatten().next() {
+                None => Ok(()),
+                Some(e) => Err(e),
+            };
+        }
         match &self.engine {
             Some(engine) if work.len() > 1 => {
                 let shared = Arc::new(Mutex::new(errs));
@@ -607,6 +737,23 @@ impl ServerPool {
             .map(|(server, (idx, batch))| (server, idx, batch))
             .collect();
         let mut agg: Vec<EraseAgg> = (0..keys.len()).map(|_| EraseAgg::default()).collect();
+        if self.submit_capable && self.budget > 1 && work.len() > 1 {
+            let work: Vec<(usize, KeyedBatch)> = work
+                .into_iter()
+                .map(|(server, idx, batch)| (server, (idx, batch)))
+                .collect();
+            self.drive(
+                work,
+                |(_, batch)| batch.len(),
+                |server, (_, batch)| self.core.clients[server].start_delete_many(batch),
+                |_, (idx, batch), result| {
+                    for (&i, o) in idx.iter().zip(finish_erase(batch.len(), result)) {
+                        agg[i].merge(o);
+                    }
+                },
+            );
+            return agg.into_iter().map(EraseAgg::resolve).collect();
+        }
         match &self.engine {
             Some(engine) if work.len() > 1 => {
                 let shared = Arc::new(Mutex::new(agg));
@@ -652,6 +799,42 @@ impl ServerPool {
         self.core
             .servers_for(key)
             .any(|id| self.core.client(id).contains(key))
+    }
+
+    /// Evented fan-out: submit per-server batches until `budget` are in
+    /// flight, then settle them oldest-first, refilling the window as
+    /// each slot frees. Submission is non-blocking (the reactor threads
+    /// own the sockets), so the whole window is on the wire concurrently
+    /// while this — the only caller-side thread the fan-out occupies —
+    /// waits on one completion at a time. A stalled server holds up only
+    /// the batches queued behind it in the window, never the submissions
+    /// to healthy servers.
+    fn drive<B, T>(
+        &self,
+        work: Vec<(usize, B)>,
+        nkeys: impl Fn(&B) -> usize,
+        start: impl Fn(usize, &B) -> Deferred<T>,
+        mut finish: impl FnMut(usize, B, KvResult<Vec<KvResult<T>>>),
+    ) {
+        let mut window: VecDeque<(usize, B, Deferred<T>, InFlightGuard<'_>)> = VecDeque::new();
+        let mut settle_oldest =
+            |window: &mut VecDeque<(usize, B, Deferred<T>, InFlightGuard<'_>)>| {
+                let (server, batch, deferred, guard) = window.pop_front().expect("window filled");
+                let result = deferred.wait();
+                drop(guard);
+                finish(server, batch, result);
+            };
+        for (server, batch) in work {
+            while window.len() >= self.budget {
+                settle_oldest(&mut window);
+            }
+            let guard = self.core.stats.servers[server].track(nkeys(&batch));
+            let deferred = start(server, &batch);
+            window.push_back((server, batch, deferred, guard));
+        }
+        while !window.is_empty() {
+            settle_oldest(&mut window);
+        }
     }
 }
 
@@ -1008,6 +1191,116 @@ mod tests {
         // Single server: nothing to overlap.
         let p = ServerPool::with_options(clients(1), DistributorKind::default(), 1, 0);
         assert_eq!(p.io_parallelism(), 1);
+    }
+
+    /// Submit-capable wrapper around a [`LocalClient`] that counts how
+    /// many deferred batches are outstanding between `start_*` and
+    /// `wait`, i.e. the submit window the pool actually keeps open.
+    struct SubmitProbe {
+        inner: LocalClient,
+        in_flight: Arc<std::sync::atomic::AtomicUsize>,
+        max: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl SubmitProbe {
+        fn begin<T: Send + 'static>(&self, result: KvResult<Vec<KvResult<T>>>) -> Deferred<T> {
+            use std::sync::atomic::Ordering;
+            let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max.fetch_max(now, Ordering::SeqCst);
+            let in_flight = Arc::clone(&self.in_flight);
+            Deferred::Pending(Box::new(move || {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                result
+            }))
+        }
+    }
+
+    impl KvClient for SubmitProbe {
+        fn set(&self, key: &[u8], value: Bytes) -> memfs_memkv::error::KvResult<()> {
+            self.inner.set(key, value)
+        }
+        fn add(&self, key: &[u8], value: Bytes) -> memfs_memkv::error::KvResult<()> {
+            self.inner.add(key, value)
+        }
+        fn get(&self, key: &[u8]) -> memfs_memkv::error::KvResult<Bytes> {
+            self.inner.get(key)
+        }
+        fn append(&self, key: &[u8], suffix: &[u8]) -> memfs_memkv::error::KvResult<()> {
+            self.inner.append(key, suffix)
+        }
+        fn delete(&self, key: &[u8]) -> memfs_memkv::error::KvResult<()> {
+            self.inner.delete(key)
+        }
+        fn supports_submit(&self) -> bool {
+            true
+        }
+        fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
+            self.begin(self.inner.get_many(keys))
+        }
+        fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
+            self.begin(self.inner.set_many(items))
+        }
+        fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
+            self.begin(self.inner.delete_many(keys))
+        }
+    }
+
+    fn probe_pool(
+        n: usize,
+        io_parallelism: usize,
+    ) -> (
+        ServerPool,
+        Arc<std::sync::atomic::AtomicUsize>,
+        Arc<std::sync::atomic::AtomicUsize>,
+    ) {
+        let in_flight = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let max = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let clients: Vec<Arc<dyn KvClient>> = (0..n)
+            .map(|_| {
+                Arc::new(SubmitProbe {
+                    inner: LocalClient::new(Arc::new(Store::new(StoreConfig::default()))),
+                    in_flight: Arc::clone(&in_flight),
+                    max: Arc::clone(&max),
+                }) as Arc<dyn KvClient>
+            })
+            .collect();
+        let pool = ServerPool::with_options(clients, DistributorKind::default(), 1, io_parallelism);
+        (pool, in_flight, max)
+    }
+
+    #[test]
+    fn submit_budget_caps_in_flight_batches() {
+        use std::sync::atomic::Ordering;
+        // Enough keys that all 6 servers get a batch.
+        let keys: Vec<Bytes> = (0..96).map(|i| Bytes::from(format!("s:/f{i}#0"))).collect();
+        let items: Vec<(Bytes, Bytes)> = keys
+            .iter()
+            .map(|k| (k.clone(), Bytes::from_static(b"v")))
+            .collect();
+
+        // Budget 2: never more than two batches in flight, for every op.
+        let (p, in_flight, max) = probe_pool(6, 2);
+        assert!(
+            p.engine().is_none(),
+            "submit-capable pool must not spawn dispatcher workers"
+        );
+        assert_eq!(p.io_parallelism(), 2);
+        p.set_many(&items).unwrap();
+        for r in p.get_many(&keys) {
+            r.unwrap();
+        }
+        for r in p.delete_many(&keys) {
+            assert!(r.unwrap());
+        }
+        assert_eq!(max.load(Ordering::SeqCst), 2, "window must fill to budget");
+        assert_eq!(in_flight.load(Ordering::SeqCst), 0, "window must drain");
+
+        // Budget 0 (auto): full fan-out, all six servers in flight at once.
+        let (p, in_flight, max) = probe_pool(6, 0);
+        assert_eq!(p.io_parallelism(), 6);
+        p.set_many(&items).unwrap();
+        assert_eq!(max.load(Ordering::SeqCst), 6);
+        assert_eq!(in_flight.load(Ordering::SeqCst), 0);
     }
 
     #[test]

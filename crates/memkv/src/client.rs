@@ -20,6 +20,34 @@ use bytes::Bytes;
 use crate::error::KvResult;
 use crate::store::Store;
 
+/// A batched operation that may still be in flight.
+///
+/// Returned by the `start_*` methods on [`KvClient`]: the submission half
+/// has already run (for an evented transport the requests are on the
+/// wire), and [`Deferred::wait`] blocks only for the completion half.
+/// This is what lets one caller thread keep batches in flight on every
+/// server of a pool simultaneously — submit to all, then wait.
+///
+/// Transports without a split submit path run eagerly and return
+/// [`Deferred::Ready`]; callers cannot tell the difference, they just get
+/// no overlap.
+pub enum Deferred<T> {
+    /// The operation already completed (eager transports).
+    Ready(KvResult<Vec<KvResult<T>>>),
+    /// The operation is in flight; the closure blocks until completion.
+    Pending(Box<dyn FnOnce() -> KvResult<Vec<KvResult<T>>> + Send>),
+}
+
+impl<T> Deferred<T> {
+    /// Block until the batch completes and return its per-key results.
+    pub fn wait(self) -> KvResult<Vec<KvResult<T>>> {
+        match self {
+            Deferred::Ready(result) => result,
+            Deferred::Pending(finish) => finish(),
+        }
+    }
+}
+
 /// The operations MemFS needs from a storage server. All methods are
 /// `&self` and implementations must be thread-safe: the write-buffer and
 /// prefetch pools issue concurrent requests.
@@ -70,6 +98,30 @@ pub trait KvClient: Send + Sync {
     /// Whether a key exists (no read traffic accounted).
     fn contains(&self, key: &[u8]) -> bool {
         self.get(key).is_ok()
+    }
+    /// Whether this client has a true split submit/completion path — i.e.
+    /// whether the `start_*` methods return before the network round trip
+    /// finishes. Dispatchers use this to pick between submit-window
+    /// fan-out (one thread, many servers in flight) and thread-pool
+    /// fan-out (one worker per server).
+    fn supports_submit(&self) -> bool {
+        false
+    }
+    /// Begin a [`KvClient::get_many`]; the default runs it eagerly.
+    /// Evented transports override this to put the batch on the wire and
+    /// return without blocking.
+    fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
+        Deferred::Ready(self.get_many(keys))
+    }
+    /// Begin a [`KvClient::set_many`]; same contract as
+    /// [`KvClient::start_get_many`].
+    fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
+        Deferred::Ready(self.set_many(items))
+    }
+    /// Begin a [`KvClient::delete_many`]; same contract as
+    /// [`KvClient::start_get_many`].
+    fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
+        Deferred::Ready(self.delete_many(keys))
     }
     /// Enumerate every key on the server — needed by the elastic
     /// rebalancer. Default: unsupported (transports without the `keys`
@@ -340,6 +392,27 @@ impl<C: KvClient> KvClient for FailableClient<C> {
     fn contains(&self, key: &[u8]) -> bool {
         !self.is_down() && self.inner.contains(key)
     }
+    fn supports_submit(&self) -> bool {
+        self.inner.supports_submit()
+    }
+    fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
+        match self.check() {
+            Ok(()) => self.inner.start_get_many(keys),
+            Err(e) => Deferred::Ready(Err(e)),
+        }
+    }
+    fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
+        match self.check() {
+            Ok(()) => self.inner.start_set_many(items),
+            Err(e) => Deferred::Ready(Err(e)),
+        }
+    }
+    fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
+        match self.check() {
+            Ok(()) => self.inner.start_delete_many(keys),
+            Err(e) => Deferred::Ready(Err(e)),
+        }
+    }
 }
 
 /// Blanket impls so `Arc<C>` and `&C` are clients too — MemFS holds its
@@ -375,6 +448,18 @@ impl<C: KvClient + ?Sized> KvClient for Arc<C> {
     }
     fn contains(&self, key: &[u8]) -> bool {
         (**self).contains(key)
+    }
+    fn supports_submit(&self) -> bool {
+        (**self).supports_submit()
+    }
+    fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
+        (**self).start_get_many(keys)
+    }
+    fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
+        (**self).start_set_many(items)
+    }
+    fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
+        (**self).start_delete_many(keys)
     }
 }
 

@@ -37,6 +37,14 @@ pub enum KvError {
     Protocol(String),
     /// Transport failure (TCP client/server paths only).
     Io(io::Error),
+    /// The server did not answer within the transport's response deadline
+    /// (evented TCP client only). Distinct from [`KvError::Io`]: the
+    /// connection was up but silent — a stalled or wedged server — and the
+    /// client severed it rather than park a caller forever.
+    Timeout {
+        /// The deadline that expired.
+        after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -58,7 +66,41 @@ impl fmt::Display for KvError {
             KvError::CasMismatch => write!(f, "compare-and-swap token mismatch"),
             KvError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             KvError::Io(e) => write!(f, "I/O error: {e}"),
+            KvError::Timeout { after } => write!(f, "request timed out after {after:?}"),
         }
+    }
+}
+
+impl KvError {
+    /// A fresh error equivalent to this one. `KvError` is not `Clone`
+    /// (it owns an [`io::Error`]), but one transport failure routinely
+    /// has to be reported for every key of a batch; this produces the
+    /// per-key copies.
+    pub fn duplicate(&self) -> KvError {
+        match self {
+            KvError::NotFound => KvError::NotFound,
+            KvError::Exists => KvError::Exists,
+            KvError::ValueTooLarge { size, limit } => KvError::ValueTooLarge {
+                size: *size,
+                limit: *limit,
+            },
+            KvError::KeyTooLong(n) => KvError::KeyTooLong(*n),
+            KvError::BadKey => KvError::BadKey,
+            KvError::OutOfMemory { needed, budget } => KvError::OutOfMemory {
+                needed: *needed,
+                budget: *budget,
+            },
+            KvError::CasMismatch => KvError::CasMismatch,
+            KvError::Protocol(msg) => KvError::Protocol(msg.clone()),
+            KvError::Io(e) => KvError::Io(io::Error::new(e.kind(), e.to_string())),
+            KvError::Timeout { after } => KvError::Timeout { after: *after },
+        }
+    }
+
+    /// Whether this error means the transport (not the data) failed — the
+    /// errors worth retrying on another replica.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, KvError::Io(_) | KvError::Timeout { .. })
     }
 }
 

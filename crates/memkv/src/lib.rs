@@ -33,10 +33,12 @@ pub mod client;
 pub mod error;
 pub mod net;
 pub mod proto;
+mod reactor;
 pub mod stats;
 pub mod store;
+pub mod testutil;
 
-pub use client::{FailableClient, KvClient, LocalClient, ThrottledClient};
+pub use client::{Deferred, FailableClient, KvClient, LocalClient, ThrottledClient};
 pub use error::KvError;
 pub use net::{KvServer, PoolConfig, TcpClient};
 pub use stats::StoreStats;

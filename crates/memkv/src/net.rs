@@ -7,11 +7,16 @@
 //! whole striped file system over localhost sockets.
 //!
 //! The client is a **connection pool** ([`PoolConfig`] sizes it) and every
-//! request batch is **pipelined**: all frames of a batch are written to one
-//! connection, flushed once, and the replies are read back in order. Both
-//! sides reuse per-connection scratch buffers for encoding/parsing and
-//! transmit value payloads with vectored writes, so stripe-sized values are
-//! never copied into an intermediate wire buffer.
+//! request batch is **pipelined**: all frames of a batch are queued on one
+//! connection and the replies are read back in order. Connections are
+//! driven by a per-client epoll reactor ([`crate::reactor`]): submitting a
+//! batch never blocks on the socket, and the caller parks on a completion
+//! handle only when it actually needs the responses — so one thread can
+//! keep batches in flight on every server of a pool concurrently
+//! ([`KvClient::start_get_many`] and friends expose that split). Value
+//! payloads travel as their own zero-copy iovec segments in both
+//! directions, so stripe-sized values are never copied into an
+//! intermediate wire buffer.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
@@ -19,16 +24,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Mutex, MutexGuard};
 
-use crate::client::KvClient;
+use crate::client::{Deferred, KvClient};
 use crate::error::{KvError, KvResult};
 use crate::proto::{
     parse_request, stats_pairs, write_request_line, write_response, write_value_header, Parsed,
     Request, Response, ValueItem, MAX_LINE_LEN,
 };
+use crate::reactor::{PendingExchange, Reactor};
 use crate::store::Store;
 
 /// Version string reported to `version` commands.
@@ -363,13 +369,17 @@ fn storage_error(e: KvError) -> Response {
 /// Sizing knobs for a [`TcpClient`]'s connection pool.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
-    /// Number of TCP connections to keep open to the server. Each is
-    /// independently mutex-guarded, so up to `connections` threads issue
-    /// requests concurrently without queueing on one socket.
+    /// Number of TCP connections to keep open to the server. Batches are
+    /// spread round-robin; each connection pipelines independently, so
+    /// concurrent batches do not serialize on one socket.
     pub connections: usize,
     /// Upper bound on keys packed into one multi-key `get` line; larger
     /// batches are split into pipelined frames on the same connection.
     pub max_batch_keys: usize,
+    /// Response deadline per batch. A server that accepts a request and
+    /// never answers fails the call with [`KvError::Timeout`] instead of
+    /// parking the caller forever; the silent connection is severed.
+    pub timeout: Duration,
 }
 
 impl Default for PoolConfig {
@@ -377,53 +387,36 @@ impl Default for PoolConfig {
         PoolConfig {
             connections: 4,
             max_batch_keys: 64,
+            timeout: Duration::from_secs(10),
         }
     }
 }
 
-/// A blocking TCP client for one server, implementing [`KvClient`].
+/// An evented TCP client for one server, implementing [`KvClient`].
 ///
-/// Holds a pool of connections ([`PoolConfig::connections`]); each request
-/// leases one — preferring an idle connection, falling back to queueing —
-/// so the MemFS thread pools drive one `TcpClient` per server without
-/// serializing on a single socket (the role Libmemcached's connection
-/// pools play in the paper's deployment).
+/// Holds a pool of non-blocking connections ([`PoolConfig::connections`])
+/// driven by one epoll reactor thread ([`crate::reactor`]) — the role
+/// Libmemcached's connection pools play in the paper's deployment, minus
+/// the thread-per-call cost: submitting a batch only encodes it and hands
+/// it to the reactor, so any number of batches (across any number of
+/// `TcpClient`s) stay in flight while a single caller thread waits.
 ///
 /// Batch operations ([`KvClient::get_many`], [`KvClient::set_many`]) are
-/// *pipelined*: every frame is written to the leased connection, the
-/// socket is flushed once, and the replies are read back in order.
+/// *pipelined*: every frame is queued on one connection and the replies
+/// are read back in order. The `start_*` variants expose the split
+/// submit/completion path for callers that fan one logical operation out
+/// across servers.
 ///
 /// A connection that dies mid-call is reopened; the request is retried
 /// once, transparently, when it is idempotent (`get`/`set`/`delete`…).
 /// Non-idempotent verbs (`add`/`append`/`cas`) surface the I/O error
-/// instead — retrying those could double-apply.
+/// instead — retrying those could double-apply. Calls unanswered past
+/// [`PoolConfig::timeout`] fail with [`KvError::Timeout`].
 pub struct TcpClient {
-    conns: Vec<Mutex<Conn>>,
+    reactor: Reactor,
     next: AtomicUsize,
     addr: SocketAddr,
     config: PoolConfig,
-}
-
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    /// Reusable parse buffer for inbound bytes.
-    buf: Vec<u8>,
-    /// Reusable encode buffer for outbound command lines.
-    out: Vec<u8>,
-}
-
-impl Conn {
-    fn open(addr: SocketAddr) -> KvResult<Conn> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            buf: Vec::with_capacity(4096),
-            out: Vec::with_capacity(512),
-        })
-    }
 }
 
 /// Whether a request may be transparently resent after a connection drop.
@@ -432,6 +425,38 @@ fn is_idempotent(req: &Request) -> bool {
         req,
         Request::Add { .. } | Request::Append { .. } | Request::Cas { .. }
     )
+}
+
+/// Value payloads at or above this size travel as their own zero-copy
+/// wire segment; smaller ones are cheaper to copy into the header buffer
+/// than to pay an extra iovec entry for.
+const SEGMENT_THRESHOLD: usize = 4 * 1024;
+
+/// Encode a pipelined batch into wire segments for the reactor: command
+/// lines (and small payloads) coalesce into shared header buffers, large
+/// payloads ride as refcount-bumped [`Bytes`] segments. No segment is
+/// ever empty.
+fn encode_batch(reqs: &[Request]) -> Vec<Bytes> {
+    let mut segments: Vec<Bytes> = Vec::new();
+    let mut head: Vec<u8> = Vec::new();
+    for req in reqs {
+        match write_request_line(req, &mut head) {
+            Some(value) if value.len() >= SEGMENT_THRESHOLD => {
+                segments.push(Bytes::from(std::mem::take(&mut head)));
+                segments.push(value.clone());
+                head.extend_from_slice(b"\r\n");
+            }
+            Some(value) => {
+                head.extend_from_slice(value);
+                head.extend_from_slice(b"\r\n");
+            }
+            None => {}
+        }
+    }
+    if !head.is_empty() {
+        segments.push(Bytes::from(head));
+    }
+    segments
 }
 
 impl TcpClient {
@@ -443,25 +468,30 @@ impl TcpClient {
     /// Connect to a server with explicit pool sizing.
     ///
     /// # Panics
-    /// Panics if `config.connections == 0` or `config.max_batch_keys == 0`.
+    /// Panics if `config.connections == 0`, `config.max_batch_keys == 0`
+    /// or `config.timeout` is zero.
     pub fn connect_with(addr: impl ToSocketAddrs, config: PoolConfig) -> KvResult<TcpClient> {
         assert!(config.connections > 0, "pool needs at least one connection");
         assert!(config.max_batch_keys > 0, "batches need at least one key");
+        assert!(
+            config.timeout > Duration::ZERO,
+            "response deadline must be non-zero"
+        );
+        // Connect eagerly and synchronously so an unreachable server is
+        // reported here, not on the first call.
         let first = TcpStream::connect(addr)?;
         first.set_nodelay(true)?;
         let addr = first.peer_addr()?;
-        let mut conns = Vec::with_capacity(config.connections);
-        conns.push(Mutex::new(Conn {
-            reader: BufReader::new(first.try_clone()?),
-            writer: BufWriter::new(first),
-            buf: Vec::with_capacity(4096),
-            out: Vec::with_capacity(512),
-        }));
+        let mut streams = Vec::with_capacity(config.connections);
+        streams.push(first);
         for _ in 1..config.connections {
-            conns.push(Mutex::new(Conn::open(addr)?));
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            streams.push(stream);
         }
+        let reactor = Reactor::spawn(addr, streams, config.timeout)?;
         Ok(TcpClient {
-            conns,
+            reactor,
             next: AtomicUsize::new(0),
             addr,
             config,
@@ -475,48 +505,45 @@ impl TcpClient {
 
     /// Number of pooled connections.
     pub fn pool_size(&self) -> usize {
-        self.conns.len()
+        self.config.connections
     }
 
-    /// Lease a connection: round-robin over the pool, preferring one that
-    /// is currently idle, blocking on the starting slot only when every
-    /// connection is busy.
-    fn lease(&self) -> MutexGuard<'_, Conn> {
-        let n = self.conns.len();
-        let start = self.next.fetch_add(1, Ordering::Relaxed);
-        for i in 0..n {
-            if let Some(guard) = self.conns[(start + i) % n].try_lock() {
-                return guard;
-            }
-        }
-        self.conns[start % n].lock()
+    /// Submit one pipelined batch to the reactor (round-robin over the
+    /// connection pool) and return its completion handle. Never blocks on
+    /// the network.
+    fn submit_batch(&self, reqs: &[Request]) -> PendingExchange {
+        let segments = encode_batch(reqs);
+        let idempotent = reqs.iter().all(is_idempotent);
+        let conn = self.next.fetch_add(1, Ordering::Relaxed) % self.config.connections;
+        self.reactor.submit(conn, segments, reqs.len(), idempotent)
     }
 
-    /// Write every request to one leased connection, flush once, read the
-    /// replies back in order. Recovers from a dropped connection by
-    /// reopening it and — when every request in the batch is idempotent —
-    /// replaying the batch once.
+    /// Submit a batch and wait for the replies, in request order.
     fn exchange(&self, reqs: &[Request]) -> KvResult<Vec<Response>> {
-        let mut conn = self.lease();
-        match exchange_on(&mut conn, reqs) {
-            Ok(resps) => Ok(resps),
-            Err(KvError::Io(err)) => {
-                // The socket is dead either way; reopen it so the pool
-                // slot recovers even if we cannot safely retry.
-                match Conn::open(self.addr) {
-                    Ok(fresh) => {
-                        *conn = fresh;
-                        if reqs.iter().all(is_idempotent) {
-                            exchange_on(&mut conn, reqs)
-                        } else {
-                            Err(KvError::Io(err))
-                        }
-                    }
-                    Err(_) => Err(KvError::Io(err)),
-                }
+        self.submit_batch(reqs).wait()
+    }
+
+    /// Pack keys into multi-key `get` lines (bounded by both key count and
+    /// line length), one request per chunk. `Bytes` keys make every chunk
+    /// push a refcount bump, not a copy.
+    fn chunk_get_requests(&self, keys: &[Bytes]) -> Vec<Request> {
+        let mut reqs: Vec<Request> = Vec::new();
+        let mut chunk: Vec<Bytes> = Vec::new();
+        let mut line_len = "get".len();
+        for key in keys {
+            let full = chunk.len() >= self.config.max_batch_keys
+                || line_len + 1 + key.len() + 2 > MAX_LINE_LEN;
+            if full && !chunk.is_empty() {
+                reqs.push(Request::Get {
+                    keys: std::mem::take(&mut chunk),
+                });
+                line_len = "get".len();
             }
-            Err(e) => Err(e),
+            line_len += 1 + key.len();
+            chunk.push(key.clone());
         }
+        reqs.push(Request::Get { keys: chunk });
+        reqs
     }
 
     /// Issue a request and wait for its response.
@@ -574,29 +601,8 @@ impl TcpClient {
     }
 }
 
-/// Run one pipelined batch on a connection: encode and write every frame,
-/// flush once, then read the responses back in order.
-fn exchange_on(conn: &mut Conn, reqs: &[Request]) -> KvResult<Vec<Response>> {
-    // A previous failed call may have left partial response bytes behind;
-    // they belong to no live request.
-    conn.buf.clear();
-    for req in reqs {
-        conn.out.clear();
-        match write_request_line(req, &mut conn.out) {
-            Some(value) => write_all_vectored(&mut conn.writer, &[&conn.out, value, b"\r\n"])?,
-            None => conn.writer.write_all(&conn.out)?,
-        }
-    }
-    conn.writer.flush()?;
-    let mut resps = Vec::with_capacity(reqs.len());
-    for _ in reqs {
-        resps.push(read_response(conn)?);
-    }
-    Ok(resps)
-}
-
 /// Outcome of one parse attempt over the accumulated response bytes.
-enum ParseStep {
+pub(crate) enum ParseStep {
     /// A complete response was consumed from the buffer.
     Done(Response),
     /// The frame is incomplete; at least this many more bytes are needed.
@@ -605,46 +611,10 @@ enum ParseStep {
     More(usize),
 }
 
-/// Parse one server response from the connection.
-///
-/// Bytes are read straight into the connection's scratch buffer, sized by
-/// the parser's byte-count hint: once a `VALUE` header announces its
-/// payload length, the whole remainder is requested in large reads
-/// instead of fixed small chunks with a parse attempt between each — that
-/// re-parse-per-chunk pattern throttled multi-megabyte pipelined frames.
-fn read_response(conn: &mut Conn) -> KvResult<Response> {
-    const READ_CHUNK: usize = 64 * 1024;
-    let mut chunk = [0u8; READ_CHUNK];
-    loop {
-        let hint = match try_parse_response(&mut conn.buf)? {
-            ParseStep::Done(resp) => return Ok(resp),
-            ParseStep::More(hint) => hint,
-        };
-        let n = if hint >= READ_CHUNK {
-            // Bulk remainder of a value frame: the byte count is known, so
-            // append it straight into the scratch buffer in one pass (no
-            // intermediate chunk copies, no parse attempts in between).
-            (&mut conn.reader)
-                .take(hint as u64)
-                .read_to_end(&mut conn.buf)?
-        } else {
-            let n = conn.reader.read(&mut chunk)?;
-            conn.buf.extend_from_slice(&chunk[..n]);
-            n
-        };
-        if n == 0 {
-            // Surfaced as I/O so the pool's reconnect-and-retry logic
-            // treats a mid-call server drop like any other link failure.
-            return Err(KvError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            )));
-        }
-    }
-}
-
 /// Try to parse one response from the front of `buf`, consuming it.
-fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<ParseStep> {
+/// Shared with the reactor ([`crate::reactor`]), which accumulates
+/// inbound bytes per connection and parses them incrementally.
+pub(crate) fn try_parse_response(buf: &mut Vec<u8>) -> KvResult<ParseStep> {
     let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") else {
         return Ok(ParseStep::More(2));
     };
@@ -886,52 +856,28 @@ impl KvClient for TcpClient {
     }
 
     fn get_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<Bytes>>> {
+        self.start_get_many(keys).wait()
+    }
+
+    fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
         if keys.is_empty() {
-            return Ok(Vec::new());
+            return Deferred::Ready(Ok(Vec::new()));
         }
-        // Pack keys into multi-key `get` lines (bounded by both key count
-        // and line length), pipelining the chunks on one connection.
-        // `Bytes` keys make every chunk push a refcount bump, not a copy.
-        let mut reqs: Vec<Request> = Vec::new();
-        let mut chunk: Vec<Bytes> = Vec::new();
-        let mut line_len = "get".len();
-        for key in keys {
-            let full = chunk.len() >= self.config.max_batch_keys
-                || line_len + 1 + key.len() + 2 > MAX_LINE_LEN;
-            if full && !chunk.is_empty() {
-                reqs.push(Request::Get {
-                    keys: std::mem::take(&mut chunk),
-                });
-                line_len = "get".len();
-            }
-            line_len += 1 + key.len();
-            chunk.push(key.clone());
-        }
-        reqs.push(Request::Get { keys: chunk });
-        let mut hits: HashMap<Bytes, Bytes> = HashMap::with_capacity(keys.len());
-        for resp in self.exchange(&reqs)? {
-            match resp {
-                Response::End => {}
-                Response::Value { key, value, .. } => {
-                    hits.insert(key, value);
-                }
-                Response::Values(items) => {
-                    for item in items {
-                        hits.insert(item.key, item.value);
-                    }
-                }
-                other => return Err(response_error(other)),
-            }
-        }
-        Ok(keys
-            .iter()
-            .map(|k| hits.get(k).cloned().ok_or(KvError::NotFound))
-            .collect())
+        let reqs = self.chunk_get_requests(keys);
+        let pending = self.submit_batch(&reqs);
+        let keys = keys.to_vec();
+        Deferred::Pending(Box::new(move || {
+            decode_get_responses(&keys, pending.wait()?)
+        }))
     }
 
     fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
+        self.start_set_many(items).wait()
+    }
+
+    fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
         if items.is_empty() {
-            return Ok(Vec::new());
+            return Deferred::Ready(Ok(Vec::new()));
         }
         let reqs: Vec<Request> = items
             .iter()
@@ -940,14 +886,17 @@ impl KvClient for TcpClient {
                 value: value.clone(),
             })
             .collect();
-        Ok(self
-            .exchange(&reqs)?
-            .into_iter()
-            .map(|resp| match resp {
-                Response::Stored => Ok(()),
-                other => Err(response_error(other)),
-            })
-            .collect())
+        let pending = self.submit_batch(&reqs);
+        Deferred::Pending(Box::new(move || {
+            Ok(pending
+                .wait()?
+                .into_iter()
+                .map(|resp| match resp {
+                    Response::Stored => Ok(()),
+                    other => Err(response_error(other)),
+                })
+                .collect())
+        }))
     }
 
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
@@ -972,25 +921,59 @@ impl KvClient for TcpClient {
     }
 
     fn delete_many(&self, keys: &[Bytes]) -> KvResult<Vec<KvResult<()>>> {
+        self.start_delete_many(keys).wait()
+    }
+
+    fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
         if keys.is_empty() {
-            return Ok(Vec::new());
+            return Deferred::Ready(Ok(Vec::new()));
         }
-        // One pipelined frame per key on a single leased connection —
-        // delete is idempotent, so a dropped connection replays safely.
+        // One pipelined frame per key on one connection — delete is
+        // idempotent, so a dropped connection replays safely.
         let reqs: Vec<Request> = keys
             .iter()
             .map(|key| Request::Delete { key: key.clone() })
             .collect();
-        Ok(self
-            .exchange(&reqs)?
-            .into_iter()
-            .map(|resp| match resp {
-                Response::Deleted => Ok(()),
-                Response::NotFound => Err(KvError::NotFound),
-                other => Err(response_error(other)),
-            })
-            .collect())
+        let pending = self.submit_batch(&reqs);
+        Deferred::Pending(Box::new(move || {
+            Ok(pending
+                .wait()?
+                .into_iter()
+                .map(|resp| match resp {
+                    Response::Deleted => Ok(()),
+                    Response::NotFound => Err(KvError::NotFound),
+                    other => Err(response_error(other)),
+                })
+                .collect())
+        }))
     }
+
+    fn supports_submit(&self) -> bool {
+        true
+    }
+}
+
+/// Align multi-get replies back onto the requested keys, in order.
+fn decode_get_responses(keys: &[Bytes], resps: Vec<Response>) -> KvResult<Vec<KvResult<Bytes>>> {
+    let mut hits: HashMap<Bytes, Bytes> = HashMap::with_capacity(keys.len());
+    for resp in resps {
+        match resp {
+            Response::End => {}
+            Response::Value { key, value, .. } => {
+                hits.insert(key, value);
+            }
+            Response::Values(items) => {
+                for item in items {
+                    hits.insert(item.key, item.value);
+                }
+            }
+            other => return Err(response_error(other)),
+        }
+    }
+    Ok(keys
+        .iter()
+        .map(|k| hits.get(k).cloned().ok_or(KvError::NotFound))
+        .collect())
 }
 
 fn response_error(resp: Response) -> KvError {
@@ -1176,6 +1159,7 @@ mod tests {
             PoolConfig {
                 connections: 1,
                 max_batch_keys: 16,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -1211,6 +1195,7 @@ mod tests {
             PoolConfig {
                 connections: 1,
                 max_batch_keys: 64,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -1239,6 +1224,7 @@ mod tests {
             PoolConfig {
                 connections: 1,
                 max_batch_keys: 64,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -1265,6 +1251,7 @@ mod tests {
                 PoolConfig {
                     connections: 4,
                     max_batch_keys: 64,
+                    ..PoolConfig::default()
                 },
             )
             .unwrap(),

@@ -1,19 +1,34 @@
-//! TCP transport failure paths: server shutdown mid-stream, oversized
-//! value rejection, error recovery inside pipelined batches, and client
-//! reconnection after a dropped connection.
+//! TCP transport failure paths, driven through the deterministic
+//! shaped-cluster harness ([`memfs_memkv::testutil`]): server shutdown
+//! mid-stream, oversized value rejection, error recovery inside pipelined
+//! batches, reconnection after dropped connections, silent stalls that
+//! must surface as timeouts, and mid-frame cuts that may only replay
+//! idempotent traffic.
 
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use memfs_memkv::net::{KvServer, PoolConfig, TcpClient};
+use memfs_memkv::testutil::{Shape, ShapedCluster};
 use memfs_memkv::{EvictionPolicy, KvClient, KvError, Store, StoreConfig};
 
-fn spawn_server() -> KvServer {
-    KvServer::spawn(Arc::new(Store::with_defaults()), "127.0.0.1:0").unwrap()
+fn config(connections: usize) -> PoolConfig {
+    PoolConfig {
+        connections,
+        max_batch_keys: 64,
+        ..PoolConfig::default()
+    }
+}
+
+/// A config with a short timeout for tests that drive requests into a
+/// black hole on purpose.
+fn quick_timeout_config(connections: usize) -> PoolConfig {
+    PoolConfig {
+        connections,
+        max_batch_keys: 64,
+        timeout: Duration::from_millis(250),
+    }
 }
 
 fn spawn_tiny_server(max_value_size: usize) -> KvServer {
@@ -29,101 +44,10 @@ fn spawn_tiny_server(max_value_size: usize) -> KvServer {
     .unwrap()
 }
 
-/// A TCP forwarder whose live connections can be severed on demand while
-/// its listener stays up — the shape of a storage server whose established
-/// connections die (process restart behind a VIP, link flap) without the
-/// endpoint disappearing.
-struct FlakyProxy {
-    addr: SocketAddr,
-    live: Arc<Mutex<Vec<TcpStream>>>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-}
-
-impl FlakyProxy {
-    fn spawn(upstream: SocketAddr) -> FlakyProxy {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_live = Arc::clone(&live);
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            for inbound in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                let Ok(inbound) = inbound else { continue };
-                let Ok(outbound) = TcpStream::connect(upstream) else {
-                    continue;
-                };
-                inbound.set_nodelay(true).unwrap();
-                outbound.set_nodelay(true).unwrap();
-                {
-                    let mut conns = accept_live.lock().unwrap();
-                    conns.push(inbound.try_clone().unwrap());
-                    conns.push(outbound.try_clone().unwrap());
-                }
-                Self::pump(inbound.try_clone().unwrap(), outbound.try_clone().unwrap());
-                Self::pump(outbound, inbound);
-            }
-        });
-        FlakyProxy {
-            addr,
-            live,
-            stop,
-            accept_thread: Some(accept_thread),
-        }
-    }
-
-    fn pump(mut from: TcpStream, mut to: TcpStream) {
-        std::thread::spawn(move || {
-            let mut buf = [0u8; 8192];
-            loop {
-                match from.read(&mut buf) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => {
-                        if to.write_all(&buf[..n]).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            let _ = to.shutdown(Shutdown::Both);
-            let _ = from.shutdown(Shutdown::Both);
-        });
-    }
-
-    /// Sever every live connection; the listener keeps accepting.
-    fn drop_connections(&self) {
-        let mut conns = self.live.lock().unwrap();
-        for conn in conns.drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-impl Drop for FlakyProxy {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr); // unblock accept
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
 #[test]
 fn requests_after_server_shutdown_fail_cleanly() {
-    let mut server = spawn_server();
-    let client = TcpClient::connect_with(
-        server.addr(),
-        PoolConfig {
-            connections: 2,
-            max_batch_keys: 64,
-        },
-    )
-    .unwrap();
+    let mut server = KvServer::spawn(Arc::new(Store::with_defaults()), "127.0.0.1:0").unwrap();
+    let client = TcpClient::connect_with(server.addr(), config(2)).unwrap();
     client.set(b"k", Bytes::from_static(b"v")).unwrap();
     server.shutdown();
     drop(server);
@@ -136,6 +60,21 @@ fn requests_after_server_shutdown_fail_cleanly() {
         client.get_many(&[Bytes::from_static(b"k"), Bytes::from_static(b"x")]),
         Err(KvError::Io(_))
     ));
+}
+
+#[test]
+fn killed_server_behind_live_endpoint_fails_cleanly() {
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = cluster.client(0, quick_timeout_config(1));
+    client.set(b"k", Bytes::from_static(b"v")).unwrap();
+    cluster.proxy(0).kill();
+    // The endpoint still accepts-and-closes (dead process behind a VIP):
+    // requests fail with transport errors, and once the server "restarts"
+    // the same client recovers without intervention.
+    let err = client.get(b"k").unwrap_err();
+    assert!(err.is_transport(), "got {err:?}");
+    cluster.proxy(0).revive();
+    assert_eq!(client.get(b"k").unwrap().as_ref(), b"v");
 }
 
 #[test]
@@ -156,14 +95,7 @@ fn oversized_value_rejected_connection_survives() {
 #[test]
 fn pipelined_batch_recovers_past_a_failed_item() {
     let server = spawn_tiny_server(1024);
-    let client = TcpClient::connect_with(
-        server.addr(),
-        PoolConfig {
-            connections: 1,
-            max_batch_keys: 64,
-        },
-    )
-    .unwrap();
+    let client = TcpClient::connect_with(server.addr(), config(1)).unwrap();
     let items = vec![
         (Bytes::from_static(b"a"), Bytes::from(vec![1u8; 100])),
         (Bytes::from_static(b"big"), Bytes::from(vec![2u8; 4096])), // over the limit
@@ -183,24 +115,16 @@ fn pipelined_batch_recovers_past_a_failed_item() {
 
 #[test]
 fn client_reconnects_after_connection_drop() {
-    let server = spawn_server();
-    let proxy = FlakyProxy::spawn(server.addr());
-    let client = TcpClient::connect_with(
-        proxy.addr,
-        PoolConfig {
-            connections: 1,
-            max_batch_keys: 64,
-        },
-    )
-    .unwrap();
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = cluster.client(0, config(1));
     client.set(b"k", Bytes::from_static(b"v1")).unwrap();
 
-    proxy.drop_connections();
+    cluster.proxy(0).drop_connections();
     // get is idempotent: the client must notice the dead socket, reopen
     // through the still-listening endpoint and replay transparently.
     assert_eq!(client.get(b"k").unwrap().as_ref(), b"v1");
 
-    proxy.drop_connections();
+    cluster.proxy(0).drop_connections();
     // Batches replay too, as long as every frame is idempotent.
     let out = client
         .get_many(&[Bytes::from_static(b"k"), Bytes::from_static(b"nope")])
@@ -208,52 +132,121 @@ fn client_reconnects_after_connection_drop() {
     assert_eq!(out[0].as_ref().unwrap().as_ref(), b"v1");
     assert!(matches!(out[1], Err(KvError::NotFound)));
 
-    proxy.drop_connections();
+    cluster.proxy(0).drop_connections();
     client.set(b"k", Bytes::from_static(b"v2")).unwrap();
     assert_eq!(client.get(b"k").unwrap().as_ref(), b"v2");
 }
 
 #[test]
 fn non_idempotent_requests_are_not_replayed() {
-    let server = spawn_server();
-    let proxy = FlakyProxy::spawn(server.addr());
-    let client = TcpClient::connect_with(
-        proxy.addr,
-        PoolConfig {
-            connections: 1,
-            max_batch_keys: 64,
-        },
-    )
-    .unwrap();
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = Arc::new(cluster.client(0, config(1)));
     client.set(b"log", Bytes::from_static(b"seed")).unwrap();
 
-    proxy.drop_connections();
-    // append could double-apply if blindly replayed; the client must
-    // surface the I/O error instead of retrying.
-    let err = client.append(b"log", b"+x").unwrap_err();
+    // Stall the proxy so the append is provably in flight (written by the
+    // client, absorbed by the proxy, never delivered), then sever the
+    // connection under it. A blind replay would double-apply; the client
+    // must surface the I/O error instead.
+    cluster.proxy(0).stall();
+    let pending = std::thread::spawn({
+        let client = Arc::clone(&client);
+        move || client.append(b"log", b"+x")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.proxy(0).drop_connections();
+    let err = pending.join().unwrap().unwrap_err();
     assert!(matches!(err, KvError::Io(_)), "got {err:?}");
-    // The pool slot was reopened during error handling, so the very next
-    // call succeeds without external intervention.
+    cluster.proxy(0).unstall();
+
+    // The proxy dropped the frame, so the append never applied — and the
+    // client reconnects without external intervention.
     assert_eq!(client.get(b"log").unwrap().as_ref(), b"seed");
     client.append(b"log", b"+y").unwrap();
     assert_eq!(client.get(b"log").unwrap().as_ref(), b"seed+y");
 }
 
 #[test]
-fn connection_churn_under_concurrent_load_is_survivable() {
-    let server = spawn_server();
-    let proxy = FlakyProxy::spawn(server.addr());
-    let addr = proxy.addr;
-    let client = Arc::new(
-        TcpClient::connect_with(
-            addr,
-            PoolConfig {
-                connections: 4,
-                max_batch_keys: 32,
-            },
-        )
-        .unwrap(),
+fn stalled_server_surfaces_timeout_not_a_hang() {
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = cluster.client(0, quick_timeout_config(2));
+    client.set(b"k", Bytes::from_static(b"v")).unwrap();
+
+    cluster.proxy(0).stall();
+    let start = Instant::now();
+    let err = client.get(b"k").unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, KvError::Timeout { .. }),
+        "stalled request must time out, got {err:?}"
     );
+    assert!(
+        elapsed >= Duration::from_millis(200) && elapsed < Duration::from_secs(5),
+        "timeout must fire near the deadline, took {elapsed:?}"
+    );
+    // Everything queued behind the stalled frame fails fast (the
+    // connection is abandoned), rather than serializing timeouts.
+    let start = Instant::now();
+    for _ in 0..3 {
+        assert!(client.get(b"k").unwrap_err().is_transport());
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "follow-up failures must not each wait a fresh full timeout"
+    );
+
+    // Once the stall clears, the client reconnects and recovers.
+    cluster.proxy(0).unstall();
+    let recovered = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        matches!(client.get(b"k"), Ok(v) if v.as_ref() == b"v")
+    });
+    assert!(recovered, "client must recover after the stall clears");
+}
+
+#[test]
+fn mid_frame_cut_replays_idempotent_batches_only() {
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = cluster.client(0, config(1));
+    client.set(b"seed", Bytes::from_static(b"s")).unwrap();
+
+    // Cut the client→server stream in the middle of the next batch: an
+    // idempotent set_many must be replayed transparently on a fresh
+    // connection and still land in full.
+    cluster.proxy(0).cut_client_stream_after(64);
+    let items: Vec<(Bytes, Bytes)> = (0..8)
+        .map(|i| {
+            (
+                Bytes::from(format!("cut{i}")),
+                Bytes::from(vec![b'x'; 2048]),
+            )
+        })
+        .collect();
+    let results = client.set_many(&items).unwrap();
+    assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+    for (k, _) in &items {
+        assert_eq!(client.get(k).unwrap().len(), 2048);
+    }
+
+    // The same cut under a non-idempotent frame must surface the error —
+    // an append that may or may not have applied cannot be replayed.
+    cluster.proxy(0).cut_client_stream_after(16);
+    let err = client.append(b"seed", &vec![b'y'; 4096][..]).unwrap_err();
+    assert!(matches!(err, KvError::Io(_)), "got {err:?}");
+    // And the pool reconnects: next calls work.
+    assert_eq!(client.get(b"seed").unwrap().as_ref(), b"s");
+}
+
+#[test]
+fn connection_churn_under_concurrent_load_is_survivable() {
+    let cluster = ShapedCluster::spawn(1, Shape::clean());
+    let client = Arc::new(cluster.client(
+        0,
+        PoolConfig {
+            connections: 4,
+            max_batch_keys: 32,
+            ..PoolConfig::default()
+        },
+    ));
     client
         .set(b"stable", Bytes::from_static(b"present"))
         .unwrap();
@@ -269,7 +262,7 @@ fn connection_churn_under_concurrent_load_is_survivable() {
                     // replay) or the retried connection died too.
                     match client.set(key.as_bytes(), Bytes::from_static(b"x")) {
                         Ok(()) => {}
-                        Err(KvError::Io(_)) => io_errors += 1,
+                        Err(e) if e.is_transport() => io_errors += 1,
                         Err(e) => panic!("unexpected error under churn: {e:?}"),
                     }
                 }
@@ -279,7 +272,7 @@ fn connection_churn_under_concurrent_load_is_survivable() {
         .collect();
     for _ in 0..10 {
         std::thread::sleep(std::time::Duration::from_millis(5));
-        proxy.drop_connections();
+        cluster.proxy(0).drop_connections();
     }
     for w in workers {
         let _ = w.join().unwrap();

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
-# Record the concurrent fan-out speedup to BENCH_pr3.json.
+# Record the perf-acceptance benches to BENCH_pr*.json.
 #
 #   scripts/bench_record.sh
 #
-# Runs the self-timed `fanout_record` binary (same experiment as
-# `crates/bench/benches/fanout.rs`, gigabit-Ethernet-shaped in-process
-# servers) and writes its JSON report to the repo root. The binary exits
-# non-zero if any acceptance bar is missed, failing this script: at 4
-# servers, parallel read bandwidth >= 2.5x sequential, parallel write
-# bandwidth >= 2x sequential, and single-stripe sequential reads must
-# spread their batches over every server (max/min <= 2).
+# BENCH_pr3.json — `fanout_record`: the concurrent fan-out speedup over
+# gigabit-Ethernet-shaped in-process servers (same experiment as
+# `crates/bench/benches/fanout.rs`). Bars: at 4 servers, parallel read
+# bandwidth >= 2.5x sequential, parallel write bandwidth >= 2x
+# sequential, and single-stripe sequential reads must spread their
+# batches over every server (max/min <= 2).
+#
+# BENCH_pr4.json — `scaling_record`: evented-transport scaling over
+# real-TCP bandwidth-capped shaped proxies. Bar: 8-server aggregate
+# fan-out read and write throughput each >= 1.5x the 4-server figure.
+#
+# Each binary exits non-zero if a bar is missed, failing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_pr3.json"
 echo "==> cargo run --release -p memfs-bench --bin fanout_record"
 cargo run --release -p memfs-bench --bin fanout_record > "$out"
+echo "==> wrote $out"
+grep -o '"acceptance": .*' "$out"
+
+out="BENCH_pr4.json"
+echo "==> cargo run --release -p memfs-bench --bin scaling_record"
+cargo run --release -p memfs-bench --bin scaling_record > "$out"
 echo "==> wrote $out"
 grep -o '"acceptance": .*' "$out"

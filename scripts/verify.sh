@@ -4,6 +4,7 @@
 #   scripts/verify.sh            # tier-1 gate + fmt + clippy
 #   scripts/verify.sh --full     # additionally run the full workspace test suite
 #   scripts/verify.sh --threads  # additionally stress the concurrency tests
+#   scripts/verify.sh --soak     # shaped-cluster suites, N random seeds
 #
 # Tier-1 (must stay green, see ROADMAP.md): release build + root-package
 # tests. fmt/clippy keep the tree warning-free; clippy runs with -D warnings
@@ -13,7 +14,14 @@
 # count so the per-server dispatcher, the write drain, and the prefetcher
 # race against each other — the schedule-dependent bugs (lost wakeups,
 # in-flight gauges that never settle, out-of-order reassembly) that a
-# single quiet run can miss.
+# single quiet run can miss. It also runs the (otherwise `--ignored`)
+# shaped-cluster scaling regression: 8 bandwidth-capped servers must
+# deliver >= 1.5x the 4-server aggregate batched throughput.
+#
+# --soak loops the shaped-cluster transport suites (failure injection,
+# shaped e2e, scaling) with a randomized MEMFS_SHAPE_SEED per iteration
+# (SOAK_ITERS, default 5). Each iteration prints its seed; export
+# MEMFS_SHAPE_SEED to replay a failure deterministically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +59,19 @@ for arg in "$@"; do
                 concurrent_misses_coalesce_into_one_fetch \
                 cache_never_exceeds_capacity_under_random_ops \
                 unlink_open_file
+        done
+        echo "==> shaped-cluster scaling regression (8 vs 4 servers)"
+        cargo test -q --release --test shaped_scaling -- --ignored --nocapture
+        ;;
+    --soak)
+        iters="${SOAK_ITERS:-5}"
+        echo "==> shaped-cluster soak ($iters iterations, randomized seeds)"
+        for i in $(seq 1 "$iters"); do
+            seed="${MEMFS_SHAPE_SEED:-$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')}"
+            echo "  -- iteration $i (MEMFS_SHAPE_SEED=$seed)"
+            MEMFS_SHAPE_SEED="$seed" cargo test -q -p memfs-memkv --test tcp_failures
+            MEMFS_SHAPE_SEED="$seed" cargo test -q --test tcp_e2e
+            MEMFS_SHAPE_SEED="$seed" cargo test -q --release --test shaped_scaling -- --ignored
         done
         ;;
     *)

@@ -1,29 +1,27 @@
 //! End-to-end test of the genuinely distributed deployment: MemFS mounted
 //! over TCP connections to storage servers speaking the memcached text
-//! protocol.
+//! protocol — each server behind a deterministic shaped proxy
+//! ([`memfs::memkv::testutil`]) so the traffic crosses a realistically
+//! imperfect wire, not just loopback at memory speed.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use memfs::memfs_core::{MemFs, MemFsConfig};
-use memfs::memkv::net::{KvServer, TcpClient};
-use memfs::memkv::{KvClient, Store, StoreConfig};
+use memfs::memkv::net::PoolConfig;
+use memfs::memkv::testutil::{Shape, ShapedCluster};
+use memfs::memkv::KvClient;
 
-fn tcp_cluster(n: usize) -> (Vec<KvServer>, Vec<Arc<dyn KvClient>>) {
-    let servers: Vec<KvServer> = (0..n)
-        .map(|_| {
-            KvServer::spawn(Arc::new(Store::new(StoreConfig::default())), "127.0.0.1:0").unwrap()
-        })
-        .collect();
-    let clients = servers
-        .iter()
-        .map(|s| Arc::new(TcpClient::connect(s.addr()).unwrap()) as Arc<dyn KvClient>)
-        .collect();
-    (servers, clients)
+/// A mild WAN-ish shape: visible per-burst latency, generous bandwidth.
+fn shaped_cluster(n: usize) -> (ShapedCluster, Vec<Arc<dyn KvClient>>) {
+    let cluster = ShapedCluster::spawn(n, Shape::lagged(Duration::from_millis(1)));
+    let clients = cluster.clients(PoolConfig::default());
+    (cluster, clients)
 }
 
 #[test]
 fn memfs_over_tcp_round_trip() {
-    let (servers, clients) = tcp_cluster(3);
+    let (cluster, clients) = shaped_cluster(3);
     let fs = MemFs::new(
         clients,
         MemFsConfig {
@@ -39,16 +37,15 @@ fn memfs_over_tcp_round_trip() {
     assert_eq!(fs.read_to_vec("/net/blob").unwrap(), data);
 
     // Stripes really landed on multiple servers.
-    let populated = servers
-        .iter()
-        .filter(|s| s.store().item_count() > 0)
+    let populated = (0..cluster.len())
+        .filter(|&i| cluster.server(i).store().item_count() > 0)
         .count();
     assert_eq!(populated, 3, "stripes should reach every server");
 }
 
 #[test]
 fn two_tcp_mounts_share_the_namespace() {
-    let (_servers, clients) = tcp_cluster(2);
+    let (_cluster, clients) = shaped_cluster(2);
     // Each mount gets its own TCP connections to the same servers.
     let fs1 = MemFs::new(clients.clone(), MemFsConfig::default()).unwrap();
     let fs2 = MemFs::new(clients, MemFsConfig::default()).unwrap();
@@ -65,7 +62,7 @@ fn two_tcp_mounts_share_the_namespace() {
 
 #[test]
 fn concurrent_tcp_writers() {
-    let (_servers, clients) = tcp_cluster(3);
+    let (_cluster, clients) = shaped_cluster(3);
     let fs = MemFs::new(clients, MemFsConfig::default()).unwrap();
     std::thread::scope(|scope| {
         for t in 0..4 {
@@ -78,4 +75,92 @@ fn concurrent_tcp_writers() {
         }
     });
     assert_eq!(fs.readdir("/").unwrap().len(), 4);
+}
+
+#[test]
+fn unlink_frees_deep_zombie_file_under_latency() {
+    // A leaked writer leaves a zombie whose length nobody knows; unlink
+    // probes forward in delete rounds. With hundreds of stripes behind a
+    // laggy wire, those rounds must be pipelined — paying per-stripe (or
+    // even strictly per-round) latencies would take seconds here.
+    let cluster = ShapedCluster::spawn(4, Shape::lagged(Duration::from_millis(5)));
+    let clients = cluster.clients(PoolConfig::default());
+    let fs = MemFs::new(
+        clients,
+        MemFsConfig {
+            stripe_size: 4 * 1024,
+            ..MemFsConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut w = fs.create("/zombie").unwrap();
+    w.write_all(&vec![3u8; 320 * 4 * 1024]).unwrap();
+    w.flush().unwrap();
+    std::mem::forget(w); // the writer "crashes": close never runs
+
+    let start = std::time::Instant::now();
+    fs.unlink("/zombie").unwrap();
+    let elapsed = start.elapsed();
+    // 320 stripes at 5 ms injected latency: per-stripe round trips would
+    // cost seconds; pipelined probe rounds finish far below that.
+    assert!(
+        elapsed < Duration::from_millis(1200),
+        "zombie unlink not pipelined: {elapsed:?}"
+    );
+
+    // Every stripe was reclaimed and the name is reusable.
+    let leftover: u64 = (0..cluster.len())
+        .map(|i| cluster.server(i).store().bytes_used())
+        .sum();
+    assert!(
+        leftover < 4096,
+        "stripes not reclaimed: {leftover} bytes left"
+    );
+    fs.write_file("/zombie", b"alive").unwrap();
+    assert_eq!(fs.read_to_vec("/zombie").unwrap(), b"alive");
+}
+
+#[test]
+fn mount_survives_one_stalled_server_without_wedging_the_rest() {
+    // The acceptance shape for the evented transport: one black-holed
+    // server must cost its own keys a timeout, not paralyze the fan-out
+    // to the healthy servers.
+    let cluster = ShapedCluster::spawn(4, Shape::clean());
+    let clients = cluster.clients(PoolConfig {
+        timeout: Duration::from_millis(400),
+        ..PoolConfig::default()
+    });
+    let fs = MemFs::new(
+        clients,
+        MemFsConfig {
+            stripe_size: 16 * 1024,
+            ..MemFsConfig::default()
+        },
+    )
+    .unwrap();
+    let data = vec![0xabu8; 256 * 1024];
+    fs.write_file("/pre", &data).unwrap();
+    assert_eq!(fs.read_to_vec("/pre").unwrap(), data);
+
+    cluster.proxy(2).stall();
+    let start = std::time::Instant::now();
+    // 16 stripes spread over 4 servers; server 2's share must fail with a
+    // timeout while the others answer, and the whole read must take about
+    // one timeout — not one per stripe on the stalled server.
+    let err = fs.read_to_vec("/pre").unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "stalled server serialized the fan-out: {elapsed:?}"
+    );
+    drop(err);
+
+    // Healthy after the stall clears: reconnect and read everything.
+    cluster.proxy(2).unstall();
+    let recovered = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        fs.read_to_vec("/pre").map(|v| v == data).unwrap_or(false)
+    });
+    assert!(recovered, "mount must recover once the stall clears");
 }
