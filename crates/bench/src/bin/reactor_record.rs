@@ -1,0 +1,247 @@
+//! Record shared-reactor consolidation to JSON (`BENCH_pr5.json`).
+//!
+//! Three measurements:
+//!
+//! 1. **Thread count at 16 servers** — standalone clients (one private
+//!    epoll reactor each, the pre-consolidation shape) vs sixteen clients
+//!    registered with one shared [`memfs_memkv::ReactorHandle`]. The bar:
+//!    16 reactor threads before, exactly 1 after.
+//! 2. **Completion batching factor** — concurrent fan-outs over the
+//!    16-server shared-reactor pool; the loop's counters report
+//!    completions delivered per completion-bearing epoll wake. The bar:
+//!    factor > 1 (one wake drains completions from several servers).
+//! 3. **8v4 shaped scaling** — the PR 4 regression bar re-run on the
+//!    shared reactor: bandwidth-capped proxies, aggregate batched
+//!    throughput at 8 servers must stay ≥ 1.5x the 4-server figure for
+//!    both reads and writes.
+//!
+//! Usage: `cargo run --release -p memfs-bench --bin reactor_record`
+//! (JSON to stdout; `scripts/bench_record.sh` writes `BENCH_pr5.json`
+//! and enforces the bars).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use memfs_core::{DistributorKind, ServerPool};
+use memfs_memkv::net::{KvServer, PoolConfig, TcpClient};
+use memfs_memkv::testutil::{seed_from_env, Rng, Shape, ShapedCluster};
+use memfs_memkv::{KvClient, ReactorHandle, Store, StoreConfig};
+
+const N_SERVERS: usize = 16;
+const SERVER_BPS: u64 = 6 << 20;
+const VALUE_BYTES: usize = 64 * 1024;
+const VALUES_PER_SERVER: usize = 16;
+const ROUNDS: usize = 3;
+
+/// Live threads named `memkv-reactor*`, polled until stable at
+/// `expected` or the deadline passes (threads name themselves on start).
+fn reactor_threads(expected: usize) -> usize {
+    let count = || {
+        std::fs::read_dir("/proc/self/task")
+            .unwrap()
+            .filter_map(|e| std::fs::read_to_string(e.unwrap().path().join("comm")).ok())
+            .filter(|name| name.trim_end().starts_with("memkv-reactor"))
+            .count()
+    };
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let n = count();
+        if n == expected || Instant::now() >= deadline {
+            return n;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+fn spawn_servers(n: usize) -> Vec<KvServer> {
+    (0..n)
+        .map(|_| {
+            KvServer::spawn(Arc::new(Store::new(StoreConfig::default())), "127.0.0.1:0")
+                .expect("bind storage server")
+        })
+        .collect()
+}
+
+/// Thread census: (standalone clients, shared-reactor clients).
+fn measure_threads(servers: &[KvServer]) -> (usize, usize) {
+    let standalone: Vec<TcpClient> = servers
+        .iter()
+        .map(|s| TcpClient::connect_with(s.addr(), PoolConfig::default()).expect("connect"))
+        .collect();
+    let before = reactor_threads(servers.len());
+    drop(standalone);
+    reactor_threads(0);
+
+    let reactor = ReactorHandle::new().expect("spawn shared reactor");
+    let shared: Vec<TcpClient> = servers
+        .iter()
+        .map(|s| {
+            TcpClient::connect_shared(s.addr(), PoolConfig::default(), &reactor).expect("connect")
+        })
+        .collect();
+    let after = reactor_threads(1);
+    drop(shared);
+    drop(reactor);
+    reactor_threads(0);
+    (before, after)
+}
+
+/// Completions per completion-bearing epoll wake under concurrent
+/// fan-outs on one shared reactor.
+fn measure_batching(servers: &[KvServer]) -> f64 {
+    let reactor = ReactorHandle::new().expect("spawn shared reactor");
+    let clients: Vec<Arc<dyn KvClient>> = servers
+        .iter()
+        .map(|s| {
+            Arc::new(
+                TcpClient::connect_shared(s.addr(), PoolConfig::default(), &reactor)
+                    .expect("connect"),
+            ) as Arc<dyn KvClient>
+        })
+        .collect();
+    let pool = Arc::new(ServerPool::with_options(
+        clients,
+        DistributorKind::default(),
+        1,
+        0,
+    ));
+    let keys: Vec<Bytes> = (0..256).map(|i| Bytes::from(format!("b{i:04}"))).collect();
+    let items: Vec<(Bytes, Bytes)> = keys
+        .iter()
+        .map(|k| (k.clone(), Bytes::from(vec![0xC4u8; 32 << 10])))
+        .collect();
+    pool.set_many(&items).expect("seed batching keys");
+
+    let s0 = pool.reactor_stats()[0];
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                for _ in 0..16 {
+                    for r in pool.get_many(&keys) {
+                        r.expect("batching get_many");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let s1 = pool.reactor_stats()[0];
+    let completions = (s1.completions - s0.completions) as f64;
+    let batches = (s1.completion_batches - s0.completion_batches).max(1) as f64;
+    completions / batches
+}
+
+fn balanced_items(pool: &ServerPool, rng: &mut Rng) -> Vec<(Bytes, Bytes)> {
+    let n = pool.n_servers();
+    let mut remaining: Vec<usize> = vec![VALUES_PER_SERVER; n];
+    let mut left = n * VALUES_PER_SERVER;
+    let mut items = Vec::with_capacity(left);
+    let value = Bytes::from(vec![0xB7u8; VALUE_BYTES]);
+    while left > 0 {
+        let key = Bytes::from(format!("s:/f{:016x}#0", rng.next_u64()));
+        let server = pool.server_for(&key).0;
+        if remaining[server] > 0 {
+            remaining[server] -= 1;
+            left -= 1;
+            items.push((key, value.clone()));
+        }
+    }
+    items
+}
+
+/// Best-of-rounds aggregate (write_bps, read_bps) with full fan-out over
+/// a bandwidth-capped shaped cluster — every client on one shared
+/// reactor (the harness default).
+fn measure_scaling(n: usize, rng: &mut Rng) -> (f64, f64) {
+    let mut best_write = 0f64;
+    let mut best_read = 0f64;
+    for _ in 0..ROUNDS {
+        let cluster = ShapedCluster::spawn(n, Shape::throttled(SERVER_BPS));
+        let pool = ServerPool::with_options(
+            cluster.clients(PoolConfig::default()),
+            DistributorKind::default(),
+            1,
+            0,
+        );
+        let items = balanced_items(&pool, rng);
+        let keys: Vec<Bytes> = items.iter().map(|(k, _)| k.clone()).collect();
+        let total = (items.len() * VALUE_BYTES) as f64;
+
+        let start = Instant::now();
+        pool.set_many(&items).expect("shaped set_many");
+        best_write = best_write.max(total / start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for r in pool.get_many(&keys) {
+            assert_eq!(r.expect("shaped get_many").len(), VALUE_BYTES);
+        }
+        best_read = best_read.max(total / start.elapsed().as_secs_f64());
+    }
+    (best_write, best_read)
+}
+
+fn main() {
+    let seed = seed_from_env();
+    eprintln!("reactor_record seed: {seed} (set MEMFS_SHAPE_SEED to reproduce)");
+    let mut rng = Rng::new(seed);
+
+    let servers = spawn_servers(N_SERVERS);
+    let (threads_before, threads_after) = measure_threads(&servers);
+    eprintln!("reactor threads at {N_SERVERS} servers: {threads_before} standalone -> {threads_after} shared");
+    let batching = measure_batching(&servers);
+    eprintln!("completion batching factor: {batching:.2} completions per wake");
+    let mut servers = servers;
+    for s in &mut servers {
+        s.shutdown();
+    }
+
+    let (write4, read4) = measure_scaling(4, &mut rng);
+    let (write8, read8) = measure_scaling(8, &mut rng);
+    let write_scale = write8 / write4;
+    let read_scale = read8 / read4;
+    eprintln!(
+        "shaped scaling: write {:.1} -> {:.1} MB/s ({write_scale:.2}x), read {:.1} -> {:.1} MB/s ({read_scale:.2}x)",
+        write4 / 1e6,
+        write8 / 1e6,
+        read4 / 1e6,
+        read8 / 1e6,
+    );
+
+    let threads_pass = threads_before == N_SERVERS && threads_after == 1;
+    let batching_pass = batching > 1.0;
+    let scaling_pass = write_scale >= 1.5 && read_scale >= 1.5;
+    let pass = threads_pass && batching_pass && scaling_pass;
+    println!(
+        "{{\n  \"bench\": \"shared_reactor\",\n  \
+         \"cluster\": {{\"servers\": {N_SERVERS}, \"transport\": \"tcp\"}},\n  \
+         \"seed\": {seed},\n  \
+         \"threads\": {{\"standalone\": {threads_before}, \"shared\": {threads_after}}},\n  \
+         \"batching\": {{\"completions_per_wake\": {batching:.3}}},\n  \
+         \"scaling\": {{\"server_bandwidth_bps\": {SERVER_BPS}, \
+         \"write_4_bps\": {write4:.0}, \"write_8_bps\": {write8:.0}, \
+         \"read_4_bps\": {read4:.0}, \"read_8_bps\": {read8:.0}, \
+         \"write_scale\": {write_scale:.3}, \"read_scale\": {read_scale:.3}}},\n  \
+         \"acceptance\": {{\"metric\": \"one reactor thread per mount, batched completions, 8v4 >= 1.5x\", \
+         \"threads_pass\": {threads_pass}, \"batching_pass\": {batching_pass}, \
+         \"scaling_pass\": {scaling_pass}, \"pass\": {pass}}}\n}}"
+    );
+    if !threads_pass {
+        eprintln!(
+            "FAIL: thread census {threads_before} -> {threads_after} (want {N_SERVERS} -> 1)"
+        );
+    }
+    if !batching_pass {
+        eprintln!("FAIL: completion batching factor {batching:.2} <= 1");
+    }
+    if !scaling_pass {
+        eprintln!("FAIL: 8v4 scaling write {write_scale:.2}x / read {read_scale:.2}x < 1.5x");
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

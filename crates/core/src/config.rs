@@ -54,6 +54,13 @@ pub struct MemFsConfig {
     /// transport (the [`memfs_memkv::PoolConfig::connections`] knob).
     /// In-process mounts ignore it.
     pub pool_connections: usize,
+    /// Shared epoll reactor threads a TCP mount runs
+    /// ([`crate::MemFs::connect`]). The default `1` multiplexes every
+    /// server's connections on one thread — the replacement for the old
+    /// implicit thread-per-server shape; clients are spread round-robin
+    /// over the reactors when larger. Capped at the server count.
+    /// In-process mounts ignore it.
+    pub reactor_threads: usize,
     /// How many per-server batches a fan-out keeps on the wire at once
     /// (paper §3.2.2: symmetrical striping drives all N servers at once).
     /// Evented transports treat this as an in-flight submit budget on the
@@ -81,6 +88,7 @@ impl Default for MemFsConfig {
             prefetch_window: 8,
             write_batch_stripes: 8,
             pool_connections: 4,
+            reactor_threads: 1,
             io_parallelism: 0,
             distributor: DistributorKind::default(),
             replication: 1,
@@ -125,6 +133,9 @@ impl MemFsConfig {
         }
         if self.pool_connections == 0 {
             return Err("pool_connections must be at least 1".into());
+        }
+        if self.reactor_threads == 0 {
+            return Err("reactor_threads must be at least 1".into());
         }
         Ok(())
     }
@@ -199,6 +210,12 @@ impl MemFsConfig {
         self
     }
 
+    /// Builder-style setter for the shared reactor thread count.
+    pub fn with_reactor_threads(mut self, reactors: usize) -> Self {
+        self.reactor_threads = reactors;
+        self
+    }
+
     /// Builder-style setter for the fan-out width (`0` = full fan-out,
     /// `1` = sequential dispatch).
     pub fn with_io_parallelism(mut self, width: usize) -> Self {
@@ -222,6 +239,7 @@ mod tests {
         assert_eq!(c.read_cache_stripes(), 16);
         assert_eq!(c.write_batch_stripes, 8);
         assert_eq!(c.pool_connections, 4);
+        assert_eq!(c.reactor_threads, 1, "one shared reactor per mount");
         assert_eq!(c.io_parallelism, 0, "auto: one dispatcher per server");
     }
 
@@ -278,6 +296,8 @@ mod tests {
         let c = MemFsConfig::default().with_write_batch_stripes(0);
         assert!(c.validate().is_err());
         let c = MemFsConfig::default().with_pool_connections(0);
+        assert!(c.validate().is_err());
+        let c = MemFsConfig::default().with_reactor_threads(0);
         assert!(c.validate().is_err());
     }
 

@@ -119,6 +119,42 @@ impl MemFs {
         Self::mount(pool, config, engine)
     }
 
+    /// Mount over TCP storage servers: connects one
+    /// [`memfs_memkv::TcpClient`] per address, all registered on
+    /// `config.reactor_threads` shared epoll reactors (default 1 — a
+    /// single reactor thread drives the whole cluster and delivers
+    /// completions in cross-server batches; clients round-robin over the
+    /// reactors when more are configured). `config.pool_connections`
+    /// sizes each server's connection pool.
+    pub fn connect(
+        addrs: &[impl std::net::ToSocketAddrs],
+        config: MemFsConfig,
+    ) -> MemFsResult<MemFs> {
+        if let Err(msg) = config.validate() {
+            return Err(MemFsError::InvalidPath(format!("config: {msg}")));
+        }
+        let n_reactors = config.reactor_threads.min(addrs.len().max(1));
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            reactors.push(memfs_memkv::ReactorHandle::new().map_err(MemFsError::Storage)?);
+        }
+        let pool_config = memfs_memkv::PoolConfig {
+            connections: config.pool_connections,
+            ..memfs_memkv::PoolConfig::default()
+        };
+        let mut servers: Vec<Arc<dyn KvClient>> = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let client = memfs_memkv::TcpClient::connect_shared(
+                addr,
+                pool_config.clone(),
+                &reactors[i % n_reactors],
+            )
+            .map_err(MemFsError::Storage)?;
+            servers.push(Arc::new(client));
+        }
+        Self::new(servers, config)
+    }
+
     /// Mount over an existing [`ServerPool`] (lets several mounts share
     /// routing state, and lets tests inject custom pools). The mount's
     /// background jobs run on the pool's dispatcher when it has one, so
@@ -1000,12 +1036,52 @@ mod tests {
 
     #[test]
     fn mount_shares_one_engine_with_its_pool() {
-        let fs = mount(4);
+        // Blocking (non-submit-capable) clients: the pool fans out on the
+        // mount's engine, and both must share one dispatcher.
+        struct Opaque(LocalClient);
+        impl KvClient for Opaque {
+            fn set(&self, key: &[u8], value: Bytes) -> memfs_memkv::error::KvResult<()> {
+                self.0.set(key, value)
+            }
+            fn add(&self, key: &[u8], value: Bytes) -> memfs_memkv::error::KvResult<()> {
+                self.0.add(key, value)
+            }
+            fn get(&self, key: &[u8]) -> memfs_memkv::error::KvResult<Bytes> {
+                self.0.get(key)
+            }
+            fn append(&self, key: &[u8], suffix: &[u8]) -> memfs_memkv::error::KvResult<()> {
+                self.0.append(key, suffix)
+            }
+            fn delete(&self, key: &[u8]) -> memfs_memkv::error::KvResult<()> {
+                self.0.delete(key)
+            }
+            // supports_submit stays at the default `false`.
+        }
+        let servers: Vec<Arc<dyn KvClient>> = (0..4)
+            .map(|_| {
+                Arc::new(Opaque(LocalClient::new(Arc::new(Store::new(
+                    StoreConfig::default(),
+                ))))) as Arc<dyn KvClient>
+            })
+            .collect();
+        let fs = MemFs::new(servers, MemFsConfig::default()).unwrap();
         let pool_engine = fs.pool().engine().expect("fan-out pool has an engine");
         assert!(
             Arc::ptr_eq(pool_engine, fs.engine()),
             "pool dispatch and mount background jobs must share one engine"
         );
+
+        // Submit-capable clients fan out on the caller's thread under the
+        // io_parallelism budget: the pool needs no engine at all and the
+        // mount's engine is sized for background jobs only.
+        let evented = mount(4);
+        assert!(evented.pool().engine().is_none());
+        assert_eq!(
+            evented.engine().size(),
+            evented.config().engine_threads(1),
+            "evented mount engine sized for background jobs only"
+        );
+
         // Sequential mounts skip pool fan-out but still run background
         // drains and prefetches on a mount-owned engine.
         let seq = mount_with(

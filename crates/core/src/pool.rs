@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 use memfs_hashring::{group_by_server, Distributor, KetamaRing, ModuloRing, ServerId};
 use memfs_memkv::error::KvResult;
-use memfs_memkv::{Deferred, KvClient, KvError};
+use memfs_memkv::{Deferred, KvClient, KvError, ReactorStatsSnapshot};
 
 use crate::config::DistributorKind;
 use crate::error::{MemFsError, MemFsResult};
@@ -83,7 +83,10 @@ pub struct ServerIoSnapshot {
     pub fallbacks: u64,
 }
 
-/// Per-server dispatch accounting for the whole pool.
+/// Per-server dispatch accounting for the whole pool. Transport-level
+/// reactor counters (epoll wakeups, completion batching, timeouts,
+/// reconnects) live one layer down — [`ServerPool::reactor_stats`]
+/// aggregates them per distinct reactor.
 #[derive(Debug, Default)]
 pub struct PoolStats {
     servers: Vec<ServerIo>,
@@ -465,6 +468,22 @@ impl ServerPool {
         &self.core.stats
     }
 
+    /// Transport reactor counters, one snapshot per distinct reactor
+    /// (clients sharing one reactor — the per-mount deployment shape —
+    /// are deduped by [`ReactorStatsSnapshot::reactor_id`], so a shared
+    /// reactor reports once). Empty for in-process transports. Exposes
+    /// epoll wakeups, completions and the cross-server batching factor,
+    /// registered connections, timeouts fired, and reconnect attempts.
+    pub fn reactor_stats(&self) -> Vec<ReactorStatsSnapshot> {
+        let mut seen = std::collections::HashSet::new();
+        self.core
+            .clients
+            .iter()
+            .filter_map(|c| c.reactor_stats())
+            .filter(|s| seen.insert(s.reactor_id))
+            .collect()
+    }
+
     /// The servers holding `key`, primary first.
     pub fn servers_for(&self, key: &[u8]) -> impl Iterator<Item = ServerId> + '_ {
         self.core.servers_for(key)
@@ -802,13 +821,15 @@ impl ServerPool {
     }
 
     /// Evented fan-out: submit per-server batches until `budget` are in
-    /// flight, then settle them oldest-first, refilling the window as
-    /// each slot frees. Submission is non-blocking (the reactor threads
-    /// own the sockets), so the whole window is on the wire concurrently
-    /// while this — the only caller-side thread the fan-out occupies —
-    /// waits on one completion at a time. A stalled server holds up only
-    /// the batches queued behind it in the window, never the submissions
-    /// to healthy servers.
+    /// flight, then settle completed ones as slots are needed, refilling
+    /// the window as each frees. Submission is non-blocking (the shared
+    /// reactor owns the sockets), so the whole window is on the wire
+    /// concurrently while this — the only caller-side thread the fan-out
+    /// occupies — waits on one completion at a time. Completions are
+    /// settled in *arrival* order ([`Deferred::is_ready`]): the shared
+    /// reactor delivers them in cross-server batches as they land
+    /// anywhere in the cluster, so a slow server never blocks the window
+    /// behind its submission position — only the slot it actually holds.
     fn drive<B, T>(
         &self,
         work: Vec<(usize, B)>,
@@ -817,23 +838,28 @@ impl ServerPool {
         mut finish: impl FnMut(usize, B, KvResult<Vec<KvResult<T>>>),
     ) {
         let mut window: VecDeque<(usize, B, Deferred<T>, InFlightGuard<'_>)> = VecDeque::new();
-        let mut settle_oldest =
-            |window: &mut VecDeque<(usize, B, Deferred<T>, InFlightGuard<'_>)>| {
-                let (server, batch, deferred, guard) = window.pop_front().expect("window filled");
-                let result = deferred.wait();
-                drop(guard);
-                finish(server, batch, result);
-            };
+        let mut settle_one = |window: &mut VecDeque<(usize, B, Deferred<T>, InFlightGuard<'_>)>| {
+            // Prefer a batch whose completion already landed; block on
+            // the oldest only when none is ready yet.
+            let pos = window
+                .iter()
+                .position(|(_, _, deferred, _)| deferred.is_ready())
+                .unwrap_or(0);
+            let (server, batch, deferred, guard) = window.remove(pos).expect("window filled");
+            let result = deferred.wait();
+            drop(guard);
+            finish(server, batch, result);
+        };
         for (server, batch) in work {
             while window.len() >= self.budget {
-                settle_oldest(&mut window);
+                settle_one(&mut window);
             }
             let guard = self.core.stats.servers[server].track(nkeys(&batch));
             let deferred = start(server, &batch);
             window.push_back((server, batch, deferred, guard));
         }
         while !window.is_empty() {
-            settle_oldest(&mut window);
+            settle_one(&mut window);
         }
     }
 }

@@ -36,6 +36,16 @@ pub enum Deferred<T> {
     Ready(KvResult<Vec<KvResult<T>>>),
     /// The operation is in flight; the closure blocks until completion.
     Pending(Box<dyn FnOnce() -> KvResult<Vec<KvResult<T>>> + Send>),
+    /// In flight with a readiness probe: `ready` answers "has this
+    /// completed?" without blocking or consuming, `finish` blocks for the
+    /// result. Lets a sliding-window driver settle completions in
+    /// *arrival* order across servers instead of submission order.
+    Polled {
+        /// Non-blocking completion probe.
+        ready: Box<dyn Fn() -> bool + Send>,
+        /// Blocking completion, same contract as [`Deferred::Pending`].
+        finish: Box<dyn FnOnce() -> KvResult<Vec<KvResult<T>>> + Send>,
+    },
 }
 
 impl<T> Deferred<T> {
@@ -44,6 +54,18 @@ impl<T> Deferred<T> {
         match self {
             Deferred::Ready(result) => result,
             Deferred::Pending(finish) => finish(),
+            Deferred::Polled { finish, .. } => finish(),
+        }
+    }
+
+    /// Whether [`Deferred::wait`] would return without blocking.
+    /// [`Deferred::Pending`] has no probe and conservatively answers
+    /// `false`.
+    pub fn is_ready(&self) -> bool {
+        match self {
+            Deferred::Ready(_) => true,
+            Deferred::Pending(_) => false,
+            Deferred::Polled { ready, .. } => ready(),
         }
     }
 }
@@ -131,6 +153,14 @@ pub trait KvClient: Send + Sync {
             "key enumeration not supported by this client".into(),
         ))
     }
+    /// Counters of the reactor driving this client's connections, if it
+    /// has one. Clients sharing a reactor return snapshots with the same
+    /// [`ReactorStatsSnapshot::reactor_id`]
+    /// ([`crate::reactor::ReactorStatsSnapshot`]); aggregators dedup on
+    /// it. Default: `None` (in-process transports have no reactor).
+    fn reactor_stats(&self) -> Option<crate::reactor::ReactorStatsSnapshot> {
+        None
+    }
 }
 
 /// Direct in-process access to a [`Store`].
@@ -181,6 +211,13 @@ impl KvClient for LocalClient {
     }
     fn contains(&self, key: &[u8]) -> bool {
         self.store.contains(key)
+    }
+    /// In-process calls complete at memory speed, so the eager `start_*`
+    /// defaults already satisfy the split-submit contract: the pool's
+    /// budgeted caller-thread fan-out needs no engine workers for local
+    /// servers.
+    fn supports_submit(&self) -> bool {
+        true
     }
 }
 
@@ -233,13 +270,43 @@ impl<C: KvClient> ThrottledClient<C> {
         &self.inner
     }
 
-    fn delay(&self, payload_bytes: usize) {
+    /// Shaped wall-clock cost of one round trip carrying `payload_bytes`.
+    fn cost(&self, payload_bytes: usize) -> Duration {
         let mut d = self.shaping.latency;
         if self.shaping.bandwidth.is_finite() && self.shaping.bandwidth > 0.0 {
             d += Duration::from_secs_f64(payload_bytes as f64 / self.shaping.bandwidth);
         }
+        d
+    }
+
+    fn delay(&self, payload_bytes: usize) {
+        let d = self.cost(payload_bytes);
         if d > Duration::ZERO {
             precise_sleep(d);
+        }
+    }
+
+    /// Build the deferred half of a shaped batch: the inner operation has
+    /// already run (memory-speed for the intended [`LocalClient`] inner),
+    /// the shaped cost is a wall-clock deadline. `ready` polls the clock;
+    /// `finish` sleeps out the remainder. Because the deadline starts at
+    /// submission, N servers' costs elapse concurrently — the fan-out
+    /// pays `max(cost)`, not `sum(cost)`, exactly like real shaped links.
+    fn shaped_deferred<T: Send + 'static>(
+        &self,
+        payload_bytes: usize,
+        result: KvResult<Vec<KvResult<T>>>,
+    ) -> Deferred<T> {
+        let deadline = Instant::now() + self.cost(payload_bytes);
+        Deferred::Polled {
+            ready: Box::new(move || Instant::now() >= deadline),
+            finish: Box::new(move || {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining > Duration::ZERO {
+                    precise_sleep(remaining);
+                }
+                result
+            }),
         }
     }
 }
@@ -307,6 +374,35 @@ impl<C: KvClient> KvClient for ThrottledClient<C> {
     }
     fn contains(&self, key: &[u8]) -> bool {
         self.inner.contains(key)
+    }
+    /// The shaped batch cost is charged as a submission-time deadline
+    /// (see [`ThrottledClient::shaped_deferred`]), so shaped fan-outs
+    /// ride the pool's budgeted caller-thread path: submit to every
+    /// server, then settle deadlines as they elapse — the Figure-3
+    /// overlap without engine workers.
+    fn supports_submit(&self) -> bool {
+        true
+    }
+    fn start_get_many(&self, keys: &[Bytes]) -> Deferred<Bytes> {
+        let out = self.inner.get_many(keys);
+        let total: usize = out
+            .iter()
+            .flatten()
+            .map(|r| r.as_ref().map(|v| v.len()).unwrap_or(0))
+            .sum();
+        self.shaped_deferred(total, out)
+    }
+    fn start_set_many(&self, items: &[(Bytes, Bytes)]) -> Deferred<()> {
+        let total: usize = items.iter().map(|(_, v)| v.len()).sum();
+        let out = self.inner.set_many(items);
+        self.shaped_deferred(total, out)
+    }
+    fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
+        let out = self.inner.delete_many(keys);
+        self.shaped_deferred(0, out)
+    }
+    fn reactor_stats(&self) -> Option<crate::reactor::ReactorStatsSnapshot> {
+        self.inner.reactor_stats()
     }
 }
 
@@ -413,6 +509,9 @@ impl<C: KvClient> KvClient for FailableClient<C> {
             Err(e) => Deferred::Ready(Err(e)),
         }
     }
+    fn reactor_stats(&self) -> Option<crate::reactor::ReactorStatsSnapshot> {
+        self.inner.reactor_stats()
+    }
 }
 
 /// Blanket impls so `Arc<C>` and `&C` are clients too — MemFS holds its
@@ -460,6 +559,9 @@ impl<C: KvClient + ?Sized> KvClient for Arc<C> {
     }
     fn start_delete_many(&self, keys: &[Bytes]) -> Deferred<()> {
         (**self).start_delete_many(keys)
+    }
+    fn reactor_stats(&self) -> Option<crate::reactor::ReactorStatsSnapshot> {
+        (**self).reactor_stats()
     }
 }
 

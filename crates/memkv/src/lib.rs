@@ -41,5 +41,6 @@ pub mod testutil;
 pub use client::{Deferred, FailableClient, KvClient, LocalClient, ThrottledClient};
 pub use error::KvError;
 pub use net::{KvServer, PoolConfig, TcpClient};
+pub use reactor::{ReactorHandle, ReactorStatsSnapshot};
 pub use stats::StoreStats;
 pub use store::{EvictionPolicy, Store, StoreConfig};

@@ -9,11 +9,14 @@
 //! The client is a **connection pool** ([`PoolConfig`] sizes it) and every
 //! request batch is **pipelined**: all frames of a batch are queued on one
 //! connection and the replies are read back in order. Connections are
-//! driven by a per-client epoll reactor ([`crate::reactor`]): submitting a
+//! driven by a shared epoll reactor ([`crate::reactor`]): submitting a
 //! batch never blocks on the socket, and the caller parks on a completion
 //! handle only when it actually needs the responses — so one thread can
 //! keep batches in flight on every server of a pool concurrently
-//! ([`KvClient::start_get_many`] and friends expose that split). Value
+//! ([`KvClient::start_get_many`] and friends expose that split). A mount
+//! registers all of its `TcpClient`s on one [`ReactorHandle`]
+//! ([`TcpClient::connect_shared`]), so a single reactor thread drives the
+//! whole cluster and drains completions for all servers per wake. Value
 //! payloads travel as their own zero-copy iovec segments in both
 //! directions, so stripe-sized values are never copied into an
 //! intermediate wire buffer.
@@ -34,7 +37,7 @@ use crate::proto::{
     parse_request, stats_pairs, write_request_line, write_response, write_value_header, Parsed,
     Request, Response, ValueItem, MAX_LINE_LEN,
 };
-use crate::reactor::{PendingExchange, Reactor};
+use crate::reactor::{PendingExchange, ReactorHandle, ReactorStatsSnapshot, Registration};
 use crate::store::Store;
 
 /// Version string reported to `version` commands.
@@ -395,11 +398,14 @@ impl Default for PoolConfig {
 /// An evented TCP client for one server, implementing [`KvClient`].
 ///
 /// Holds a pool of non-blocking connections ([`PoolConfig::connections`])
-/// driven by one epoll reactor thread ([`crate::reactor`]) — the role
+/// registered with an epoll reactor ([`crate::reactor`]) — the role
 /// Libmemcached's connection pools play in the paper's deployment, minus
 /// the thread-per-call cost: submitting a batch only encodes it and hands
 /// it to the reactor, so any number of batches (across any number of
 /// `TcpClient`s) stay in flight while a single caller thread waits.
+/// [`TcpClient::connect_shared`] registers on a caller-owned
+/// [`ReactorHandle`] so every client of a mount shares one reactor
+/// thread; [`TcpClient::connect_with`] spins up a private one.
 ///
 /// Batch operations ([`KvClient::get_many`], [`KvClient::set_many`]) are
 /// *pipelined*: every frame is queued on one connection and the replies
@@ -413,7 +419,7 @@ impl Default for PoolConfig {
 /// instead — retrying those could double-apply. Calls unanswered past
 /// [`PoolConfig::timeout`] fail with [`KvError::Timeout`].
 pub struct TcpClient {
-    reactor: Reactor,
+    registration: Registration,
     next: AtomicUsize,
     addr: SocketAddr,
     config: PoolConfig,
@@ -465,12 +471,31 @@ impl TcpClient {
         Self::connect_with(addr, PoolConfig::default())
     }
 
-    /// Connect to a server with explicit pool sizing.
+    /// Connect to a server with explicit pool sizing on a private reactor
+    /// (this client is the shared reactor's only registrant).
     ///
     /// # Panics
     /// Panics if `config.connections == 0`, `config.max_batch_keys == 0`
     /// or `config.timeout` is zero.
     pub fn connect_with(addr: impl ToSocketAddrs, config: PoolConfig) -> KvResult<TcpClient> {
+        let reactor = ReactorHandle::new()?;
+        Self::connect_shared(addr, config, &reactor)
+    }
+
+    /// Connect to a server and register the connections with an existing
+    /// shared reactor — the per-mount deployment shape: every server's
+    /// `TcpClient` rides one epoll thread, so completions land in
+    /// cross-server batches and thread count stays constant in cluster
+    /// size. The client keeps the reactor alive for as long as it lives.
+    ///
+    /// # Panics
+    /// Panics if `config.connections == 0`, `config.max_batch_keys == 0`
+    /// or `config.timeout` is zero.
+    pub fn connect_shared(
+        addr: impl ToSocketAddrs,
+        config: PoolConfig,
+        reactor: &ReactorHandle,
+    ) -> KvResult<TcpClient> {
         assert!(config.connections > 0, "pool needs at least one connection");
         assert!(config.max_batch_keys > 0, "batches need at least one key");
         assert!(
@@ -489,9 +514,9 @@ impl TcpClient {
             stream.set_nodelay(true)?;
             streams.push(stream);
         }
-        let reactor = Reactor::spawn(addr, streams, config.timeout)?;
+        let registration = reactor.register(addr, streams, config.timeout)?;
         Ok(TcpClient {
-            reactor,
+            registration,
             next: AtomicUsize::new(0),
             addr,
             config,
@@ -508,14 +533,22 @@ impl TcpClient {
         self.config.connections
     }
 
+    /// Counters of the reactor driving this client's connections. Shared
+    /// reactors report aggregate numbers across every registrant; dedup
+    /// on [`ReactorStatsSnapshot::reactor_id`] when summing over clients.
+    pub fn reactor_stats(&self) -> ReactorStatsSnapshot {
+        self.registration.handle().stats()
+    }
+
     /// Submit one pipelined batch to the reactor (round-robin over the
     /// connection pool) and return its completion handle. Never blocks on
     /// the network.
     fn submit_batch(&self, reqs: &[Request]) -> PendingExchange {
         let segments = encode_batch(reqs);
         let idempotent = reqs.iter().all(is_idempotent);
-        let conn = self.next.fetch_add(1, Ordering::Relaxed) % self.config.connections;
-        self.reactor.submit(conn, segments, reqs.len(), idempotent)
+        let conn = self.next.fetch_add(1, Ordering::Relaxed) % self.registration.len();
+        self.registration
+            .submit(conn, segments, reqs.len(), idempotent)
     }
 
     /// Submit a batch and wait for the replies, in request order.
@@ -866,9 +899,10 @@ impl KvClient for TcpClient {
         let reqs = self.chunk_get_requests(keys);
         let pending = self.submit_batch(&reqs);
         let keys = keys.to_vec();
-        Deferred::Pending(Box::new(move || {
-            decode_get_responses(&keys, pending.wait()?)
-        }))
+        Deferred::Polled {
+            ready: pending.probe(),
+            finish: Box::new(move || decode_get_responses(&keys, pending.wait()?)),
+        }
     }
 
     fn set_many(&self, items: &[(Bytes, Bytes)]) -> KvResult<Vec<KvResult<()>>> {
@@ -887,16 +921,19 @@ impl KvClient for TcpClient {
             })
             .collect();
         let pending = self.submit_batch(&reqs);
-        Deferred::Pending(Box::new(move || {
-            Ok(pending
-                .wait()?
-                .into_iter()
-                .map(|resp| match resp {
-                    Response::Stored => Ok(()),
-                    other => Err(response_error(other)),
-                })
-                .collect())
-        }))
+        Deferred::Polled {
+            ready: pending.probe(),
+            finish: Box::new(move || {
+                Ok(pending
+                    .wait()?
+                    .into_iter()
+                    .map(|resp| match resp {
+                        Response::Stored => Ok(()),
+                        other => Err(response_error(other)),
+                    })
+                    .collect())
+            }),
+        }
     }
 
     fn append(&self, key: &[u8], suffix: &[u8]) -> KvResult<()> {
@@ -935,21 +972,28 @@ impl KvClient for TcpClient {
             .map(|key| Request::Delete { key: key.clone() })
             .collect();
         let pending = self.submit_batch(&reqs);
-        Deferred::Pending(Box::new(move || {
-            Ok(pending
-                .wait()?
-                .into_iter()
-                .map(|resp| match resp {
-                    Response::Deleted => Ok(()),
-                    Response::NotFound => Err(KvError::NotFound),
-                    other => Err(response_error(other)),
-                })
-                .collect())
-        }))
+        Deferred::Polled {
+            ready: pending.probe(),
+            finish: Box::new(move || {
+                Ok(pending
+                    .wait()?
+                    .into_iter()
+                    .map(|resp| match resp {
+                        Response::Deleted => Ok(()),
+                        Response::NotFound => Err(KvError::NotFound),
+                        other => Err(response_error(other)),
+                    })
+                    .collect())
+            }),
+        }
     }
 
     fn supports_submit(&self) -> bool {
         true
+    }
+
+    fn reactor_stats(&self) -> Option<ReactorStatsSnapshot> {
+        Some(TcpClient::reactor_stats(self))
     }
 }
 
@@ -1278,6 +1322,41 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(server.store().item_count(), 400);
+    }
+
+    #[test]
+    fn two_clients_share_one_reactor_and_deregister_independently() {
+        let server_a = spawn_server();
+        let server_b = spawn_server();
+        let reactor = crate::reactor::ReactorHandle::new().unwrap();
+        let a =
+            TcpClient::connect_shared(server_a.addr(), PoolConfig::default(), &reactor).unwrap();
+        let b =
+            TcpClient::connect_shared(server_b.addr(), PoolConfig::default(), &reactor).unwrap();
+        // Same loop: both clients' snapshots carry the same reactor id,
+        // and the census covers both registrations.
+        assert_eq!(a.reactor_stats().reactor_id, b.reactor_stats().reactor_id);
+        let per_client = PoolConfig::default().connections;
+        assert_eq!(a.reactor_stats().registered_connections, 2 * per_client);
+
+        a.set(b"ka", Bytes::from_static(b"va")).unwrap();
+        b.set(b"kb", Bytes::from_static(b"vb")).unwrap();
+        assert_eq!(a.get(b"ka").unwrap(), Bytes::from_static(b"va"));
+        assert_eq!(b.get(b"kb").unwrap(), Bytes::from_static(b"vb"));
+
+        // Dropping one client releases only its own slots; the survivor
+        // keeps working on the still-running shared loop.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.reactor_stats().registered_connections != per_client {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "deregistration never drained: {:?}",
+                b.reactor_stats()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(b.get(b"kb").unwrap(), Bytes::from_static(b"vb"));
     }
 
     #[test]

@@ -1,17 +1,30 @@
-//! Evented transport core: one epoll reactor thread per [`TcpClient`]
-//! drives every connection to that server without blocking callers on
-//! socket I/O.
+//! Evented transport core: one shared epoll reactor drives every
+//! registered connection — to any number of servers — without blocking
+//! callers on socket I/O.
 //!
 //! The blocking client parked one OS thread per in-flight call — a mount
 //! fanning out to `n` servers needed `n` engine workers just to keep the
 //! sockets busy, so aggregate bandwidth plateaued at the worker count
 //! instead of the server count (the paper's full-bisection claim, §3.2,
-//! needs *every* server streaming concurrently). Here the submit path only
-//! encodes the request and hands it to the reactor; the caller parks on a
-//! condvar that the reactor signals once the pipelined responses are in.
-//! One caller thread can therefore keep any number of servers saturated.
+//! needs *every* server streaming concurrently). The first evented cut
+//! fixed that but spent one reactor thread per [`crate::net::TcpClient`]:
+//! a 64-server mount burned 64 epoll threads, each draining completions
+//! for its own server in isolation.
 //!
-//! Semantics carried over from the blocking client:
+//! Now the reactor is a process-wide resource shared through a
+//! [`ReactorHandle`]. Each `TcpClient` *registers* its pre-connected
+//! sockets with a handle and gets back a [`Registration`] — a set of
+//! tokens naming its connections inside the shared loop. One reactor
+//! thread multiplexes every server's sockets, so:
+//!
+//! * a 16-server mount runs **one** reactor thread instead of 16;
+//! * one epoll wake drains completions for *all* servers, delivering them
+//!   to waiting callers in cross-server batches (the pool's sliding
+//!   window observes completions as they land anywhere in the cluster);
+//! * the deadline wheel is shared: one timer scan covers every
+//!   connection regardless of which server it belongs to.
+//!
+//! Semantics carried over from the per-client reactor:
 //!
 //! * **Pipelining** — all frames of a batch are queued on one connection
 //!   and answered in order; concurrent batches interleave at frame
@@ -22,17 +35,28 @@
 //!   idempotent (`add`/`append`/`cas` batches surface the I/O error).
 //! * **Reconnect** — a dead connection is reopened in the background; the
 //!   pool slot recovers even when the failing batch cannot be retried.
+//!   Attempts are fenced by a per-connection generation that is bumped on
+//!   every teardown *and* on deregistration, so a stale connect can never
+//!   resurrect a closed client or a reused token slot.
+//! * **Deadlines** — a per-call timeout
+//!   ([`crate::net::PoolConfig::timeout`], stored per registration). A
+//!   server that accepts and then never answers is timed out, the
+//!   connection severed (the FIFO response alignment is unrecoverable
+//!   once a reply is abandoned), and the caller gets
+//!   [`KvError::Timeout`]. A stalled server only stalls its own
+//!   connections: the shared loop keeps every other server streaming.
 //!
-//! New here: a **deadline** per call ([`crate::net::PoolConfig::timeout`]).
-//! A server that accepts and then never answers used to wedge the calling
-//! worker forever; now the reactor times the call out, severs the
-//! connection (the FIFO response alignment is unrecoverable once a reply
-//! is abandoned), and the caller gets [`KvError::Timeout`].
+//! Lifecycle: the reactor thread starts with the first handle and exits
+//! when the last handle drops ([`ReactorHandle`] is an `Arc` in a
+//! trenchcoat). Dropping a `Registration` deregisters its connections —
+//! queued batches fail with `NotConnected` and the token slots return to
+//! a free list for the next registration.
 
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -156,6 +180,74 @@ impl Drop for Poller {
     }
 }
 
+/// Reactor observability counters, updated by the loop thread and read
+/// by [`ReactorHandle::stats`] without synchronization beyond atomics.
+#[derive(Default)]
+struct ReactorStats {
+    /// `epoll_wait` returns (including pure command wakes).
+    wakeups: AtomicU64,
+    /// Batches completed (delivered to a waiting caller), ok or err.
+    completions: AtomicU64,
+    /// Loop iterations that delivered at least one completion. The ratio
+    /// `completions / completion_batches` is the cross-server batching
+    /// factor: how many callers one wake unblocks on average.
+    completion_batches: AtomicU64,
+    /// Connections currently registered (across all clients).
+    registered_connections: AtomicUsize,
+    /// Request deadlines fired (each severs its connection).
+    timeouts: AtomicU64,
+    /// Background reconnect attempts launched. Generations are bumped on
+    /// every teardown, so this also counts connection incarnations.
+    reconnects: AtomicU64,
+}
+
+/// Point-in-time copy of a reactor's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactorStatsSnapshot {
+    /// Identity of the reactor these counters belong to. Clients sharing
+    /// one reactor report the same id — dedup on it when aggregating.
+    pub reactor_id: usize,
+    /// `epoll_wait` returns.
+    pub wakeups: u64,
+    /// Batches completed (ok or err).
+    pub completions: u64,
+    /// Loop iterations that delivered ≥ 1 completion.
+    pub completion_batches: u64,
+    /// Connections currently registered.
+    pub registered_connections: usize,
+    /// Request deadlines fired.
+    pub timeouts: u64,
+    /// Background reconnect attempts launched.
+    pub reconnects: u64,
+}
+
+impl ReactorStatsSnapshot {
+    /// Average completions delivered per completion-bearing wake (> 1
+    /// means one epoll wake routinely unblocks callers waiting on
+    /// different servers).
+    pub fn batching_factor(&self) -> f64 {
+        if self.completion_batches == 0 {
+            0.0
+        } else {
+            self.completions as f64 / self.completion_batches as f64
+        }
+    }
+}
+
+impl ReactorStats {
+    fn snapshot(&self, reactor_id: usize) -> ReactorStatsSnapshot {
+        ReactorStatsSnapshot {
+            reactor_id,
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            completion_batches: self.completion_batches.load(Ordering::Relaxed),
+            registered_connections: self.registered_connections.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Completion slot shared between a submitter and the reactor.
 struct CallShared {
     state: Mutex<Option<KvResult<Vec<Response>>>>,
@@ -179,6 +271,14 @@ impl PendingExchange {
             }
             self.done.cv.wait(&mut state);
         }
+    }
+
+    /// A non-consuming readiness probe: `true` once the reactor has
+    /// delivered this batch's result, so a sliding-window driver can
+    /// settle completions in arrival order instead of submission order.
+    pub(crate) fn probe(&self) -> Box<dyn Fn() -> bool + Send> {
+        let done = Arc::clone(&self.done);
+        Box::new(move || done.state.lock().is_some())
     }
 }
 
@@ -208,12 +308,14 @@ impl Exchange {
         done.cv.notify_all();
     }
 
-    fn finish_ok(self) {
+    fn finish_ok(self, stats: &ReactorStats) {
+        stats.completions.fetch_add(1, Ordering::Relaxed);
         let Exchange { got, done, .. } = self;
         Self::deliver(&done, Ok(got));
     }
 
-    fn finish_err(self, err: KvError) {
+    fn finish_err(self, err: KvError, stats: &ReactorStats) {
+        stats.completions.fetch_add(1, Ordering::Relaxed);
         Self::deliver(&self.done, Err(err));
     }
 
@@ -223,7 +325,53 @@ impl Exchange {
     }
 }
 
+/// Reply slot for the synchronous [`Command::Register`] round trip.
+struct RegisterReply {
+    state: Mutex<Option<io::Result<Vec<usize>>>>,
+    cv: Condvar,
+}
+
+impl RegisterReply {
+    fn new() -> RegisterReply {
+        RegisterReply {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> io::Result<Vec<usize>> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    fn set(&self, result: io::Result<Vec<usize>>) {
+        *self.state.lock() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
 enum Command {
+    /// Adopt pre-connected streams into the loop, allocating one token
+    /// slot per stream. Answered through `reply` (registration is the
+    /// only synchronous round trip — it happens once per client).
+    Register {
+        addr: SocketAddr,
+        streams: Vec<TcpStream>,
+        timeout: Duration,
+        reply: Arc<RegisterReply>,
+    },
+    /// Release token slots: queued batches fail with `NotConnected`, the
+    /// generation is bumped (fencing stale reconnects), and the slots
+    /// return to the free list. Fire-and-forget — a dropping client does
+    /// not wait on the loop.
+    Deregister {
+        tokens: Vec<usize>,
+    },
     Submit {
         conn: usize,
         call: Exchange,
@@ -245,13 +393,18 @@ struct Inbox {
 struct Shared {
     poller: Poller,
     inbox: Mutex<Inbox>,
+    stats: ReactorStats,
 }
 
-/// Per-connection state, owned exclusively by the reactor thread.
+/// Per-connection state, owned exclusively by the reactor thread. Slots
+/// are reused across registrations; `generation` is monotonic over the
+/// slot's whole lifetime so a reconnect fenced to one incarnation can
+/// never land in a later one.
 struct ConnState {
     /// `None` while disconnected (dead or reconnecting).
     stream: Option<TcpStream>,
-    /// Bumped every time the stream is torn down; fences stale reconnects.
+    /// Bumped every time the stream is torn down *or* the slot is
+    /// deregistered; fences stale reconnects.
     generation: u64,
     /// In-flight batches in submission order. The wire answers in the same
     /// order, so the front batch owns the next parsed response.
@@ -260,8 +413,17 @@ struct ConnState {
     inbuf: Vec<u8>,
     /// Whether EPOLLOUT is currently registered.
     want_write: bool,
-    /// A background connect attempt is outstanding.
+    /// A background connect attempt is outstanding. Deliberately *not*
+    /// reset on deregister/re-register: it pairs 1:1 with an outstanding
+    /// attempt thread, whose completion clears it (and restarts a fresh
+    /// attempt if the current incarnation still needs one).
     reconnecting: bool,
+    /// Server this slot reconnects to (meaningless while unregistered).
+    addr: SocketAddr,
+    /// Per-request deadline for this slot's registration.
+    timeout: Duration,
+    /// Slot is owned by a live [`Registration`].
+    registered: bool,
 }
 
 impl ConnState {
@@ -273,71 +435,113 @@ impl ConnState {
             inbuf: Vec::with_capacity(4096),
             want_write: false,
             reconnecting: false,
+            addr: SocketAddr::from(([0, 0, 0, 0], 0)),
+            timeout: Duration::from_secs(10),
+            registered: false,
         }
     }
 }
 
-/// The per-client reactor: owns the poller thread driving every
-/// connection to one server.
-pub(crate) struct Reactor {
+struct HandleInner {
     shared: Arc<Shared>,
-    timeout: Duration,
-    thread: Option<JoinHandle<()>>,
+    thread: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl Reactor {
-    /// Take ownership of pre-connected `streams` (they are switched to
-    /// non-blocking mode here) and start the event loop.
-    pub(crate) fn spawn(
-        addr: SocketAddr,
-        streams: Vec<TcpStream>,
-        timeout: Duration,
-    ) -> KvResult<Reactor> {
-        let poller = Poller::new()?;
-        let mut conns = Vec::with_capacity(streams.len());
-        for (idx, stream) in streams.into_iter().enumerate() {
-            stream.set_nonblocking(true)?;
-            poller.add(
-                stream.as_raw_fd(),
-                idx as u64,
-                libc::EPOLLIN | libc::EPOLLRDHUP,
-            )?;
-            let mut conn = ConnState::new();
-            conn.stream = Some(stream);
-            conns.push(conn);
+impl Drop for HandleInner {
+    fn drop(&mut self) {
+        self.shared.inbox.lock().shutdown = true;
+        self.shared.poller.notify();
+        if let Some(thread) = self.thread.lock().take() {
+            let _ = thread.join();
         }
+    }
+}
+
+/// Cloneable owner of one shared reactor thread. Clients register their
+/// connections with [`TcpClient::connect_shared`]
+/// (`crate::net::TcpClient`); every clone refers to the same loop, and
+/// the thread exits when the last clone (including those held by live
+/// registrations) drops.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl ReactorHandle {
+    /// Spawn the reactor thread (named `memkv-reactor`) with no
+    /// registered connections.
+    pub fn new() -> KvResult<ReactorHandle> {
+        let poller = Poller::new()?;
         let shared = Arc::new(Shared {
             poller,
             inbox: Mutex::new(Inbox {
                 commands: Vec::new(),
                 shutdown: false,
             }),
+            stats: ReactorStats::default(),
         });
         let event_loop = EventLoop {
             shared: Arc::clone(&shared),
-            conns,
-            addr,
-            timeout,
+            conns: Vec::new(),
+            free: Vec::new(),
         };
         let thread = std::thread::Builder::new()
-            .name(format!("memkv-reactor-{addr}"))
+            .name("memkv-reactor".into())
             .spawn(move || event_loop.run())
             .map_err(KvError::Io)?;
-        Ok(Reactor {
-            shared,
-            timeout,
-            thread: Some(thread),
+        Ok(ReactorHandle {
+            inner: Arc::new(HandleInner {
+                shared,
+                thread: Mutex::new(Some(thread)),
+            }),
         })
     }
 
-    /// Queue one pre-encoded batch on connection `conn` and return the
-    /// completion handle. Never blocks on the network.
-    pub(crate) fn submit(
+    /// Current counters for this reactor.
+    pub fn stats(&self) -> ReactorStatsSnapshot {
+        let shared = &self.inner.shared;
+        shared.stats.snapshot(Arc::as_ptr(shared) as usize)
+    }
+
+    fn command(&self, cmd: Command) {
+        self.inner.shared.inbox.lock().commands.push(cmd);
+        self.inner.shared.poller.notify();
+    }
+
+    /// Adopt pre-connected `streams` (switched to non-blocking inside the
+    /// loop) as one client's connections to the server at `addr`.
+    pub(crate) fn register(
         &self,
-        conn: usize,
+        addr: SocketAddr,
+        streams: Vec<TcpStream>,
+        timeout: Duration,
+    ) -> KvResult<Registration> {
+        let reply = Arc::new(RegisterReply::new());
+        self.command(Command::Register {
+            addr,
+            streams,
+            timeout,
+            reply: Arc::clone(&reply),
+        });
+        // The loop cannot shut down while this handle is alive, so the
+        // reply always arrives.
+        let tokens = reply.wait().map_err(KvError::Io)?;
+        Ok(Registration {
+            handle: self.clone(),
+            tokens,
+            timeout,
+        })
+    }
+
+    /// Queue one pre-encoded batch on connection `token` and return the
+    /// completion handle. Never blocks on the network.
+    fn submit(
+        &self,
+        token: usize,
         segments: Vec<Bytes>,
         expect: usize,
         idempotent: bool,
+        timeout: Duration,
     ) -> PendingExchange {
         let done = Arc::new(CallShared {
             state: Mutex::new(None),
@@ -356,26 +560,55 @@ impl Reactor {
             got: Vec::with_capacity(expect),
             idempotent,
             retried: false,
-            deadline: Instant::now() + self.timeout,
+            deadline: Instant::now() + timeout,
             done: Arc::clone(&done),
         };
-        self.shared
-            .inbox
-            .lock()
-            .commands
-            .push(Command::Submit { conn, call });
-        self.shared.poller.notify();
+        self.command(Command::Submit { conn: token, call });
         PendingExchange { done }
     }
 }
 
-impl Drop for Reactor {
+/// One client's set of connections inside a shared reactor. Dropping it
+/// deregisters the connections (queued batches fail with `NotConnected`)
+/// and keeps the reactor alive for other registrants.
+pub(crate) struct Registration {
+    handle: ReactorHandle,
+    tokens: Vec<usize>,
+    timeout: Duration,
+}
+
+impl Registration {
+    pub(crate) fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub(crate) fn handle(&self) -> &ReactorHandle {
+        &self.handle
+    }
+
+    /// Submit on the `slot`-th registered connection.
+    pub(crate) fn submit(
+        &self,
+        slot: usize,
+        segments: Vec<Bytes>,
+        expect: usize,
+        idempotent: bool,
+    ) -> PendingExchange {
+        self.handle.submit(
+            self.tokens[slot],
+            segments,
+            expect,
+            idempotent,
+            self.timeout,
+        )
+    }
+}
+
+impl Drop for Registration {
     fn drop(&mut self) {
-        self.shared.inbox.lock().shutdown = true;
-        self.shared.poller.notify();
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
-        }
+        self.handle.command(Command::Deregister {
+            tokens: std::mem::take(&mut self.tokens),
+        });
     }
 }
 
@@ -387,15 +620,19 @@ fn dup_io(err: &io::Error) -> io::Error {
 
 struct EventLoop {
     shared: Arc<Shared>,
+    /// Token-indexed connection slab.
     conns: Vec<ConnState>,
-    addr: SocketAddr,
-    timeout: Duration,
+    /// Deregistered slots available for reuse.
+    free: Vec<usize>,
 }
 
 impl EventLoop {
     fn run(mut self) {
         let mut events: Vec<(u64, u32)> = Vec::new();
         loop {
+            // Completions delivered by this iteration — commands, expired
+            // deadlines and socket events alike — count as one wake batch.
+            let before = self.shared.stats.completions.load(Ordering::Relaxed);
             let (commands, shutdown) = {
                 let mut inbox = self.shared.inbox.lock();
                 (std::mem::take(&mut inbox.commands), inbox.shutdown)
@@ -415,6 +652,7 @@ impl EventLoop {
                 // Transient poll failure: retry; deadlines still advance.
                 continue;
             }
+            self.shared.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             for &(token, ev) in events.iter() {
                 if token == WAKE_TOKEN {
                     self.shared.poller.drain_wake();
@@ -438,11 +676,29 @@ impl EventLoop {
                     self.flush_conn(idx);
                 }
             }
+            let delivered = self.shared.stats.completions.load(Ordering::Relaxed) - before;
+            if delivered > 0 {
+                self.shared
+                    .stats
+                    .completion_batches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     fn handle_command(&mut self, cmd: Command) {
         match cmd {
+            Command::Register {
+                addr,
+                streams,
+                timeout,
+                reply,
+            } => self.handle_register(addr, streams, timeout, &reply),
+            Command::Deregister { tokens } => {
+                for token in tokens {
+                    self.release_slot(token);
+                }
+            }
             Command::Submit { conn, call } => {
                 self.conns[conn].queue.push_back(call);
                 if self.conns[conn].stream.is_none() {
@@ -460,9 +716,14 @@ impl EventLoop {
             } => {
                 self.conns[conn].reconnecting = false;
                 if generation != self.conns[conn].generation {
-                    // The connection was torn down again after this attempt
-                    // started; its queue (if any) already owns a fresh one.
-                    if self.conns[conn].stream.is_none() && !self.conns[conn].queue.is_empty() {
+                    // The connection was torn down again (or the slot
+                    // deregistered) after this attempt started; if the
+                    // current incarnation still needs a stream, start a
+                    // correctly-fenced fresh attempt.
+                    if self.conns[conn].registered
+                        && self.conns[conn].stream.is_none()
+                        && !self.conns[conn].queue.is_empty()
+                    {
                         self.start_reconnect(conn);
                     }
                     return;
@@ -478,6 +739,82 @@ impl EventLoop {
                 }
             }
         }
+    }
+
+    /// Allocate one slot per stream, wire the fds into epoll, and answer
+    /// the registering client with the tokens. Partial failure rolls the
+    /// already-adopted streams back.
+    fn handle_register(
+        &mut self,
+        addr: SocketAddr,
+        streams: Vec<TcpStream>,
+        timeout: Duration,
+        reply: &RegisterReply,
+    ) {
+        let mut tokens = Vec::with_capacity(streams.len());
+        let mut failure: Option<io::Error> = None;
+        for stream in streams {
+            let token = self.alloc_slot();
+            {
+                let conn = &mut self.conns[token];
+                conn.addr = addr;
+                conn.timeout = timeout;
+                conn.registered = true;
+            }
+            self.shared
+                .stats
+                .registered_connections
+                .fetch_add(1, Ordering::Relaxed);
+            match self.adopt_stream(token, stream) {
+                Ok(()) => tokens.push(token),
+                Err(err) => {
+                    self.release_slot(token);
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        match failure {
+            None => reply.set(Ok(tokens)),
+            Some(err) => {
+                for token in tokens {
+                    self.release_slot(token);
+                }
+                reply.set(Err(err));
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(token) => token,
+            None => {
+                self.conns.push(ConnState::new());
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    /// Deregister one slot: fail its queue, fence outstanding reconnects
+    /// via the generation bump in `close_stream`, and free the token.
+    fn release_slot(&mut self, token: usize) {
+        if !self.conns[token].registered {
+            return;
+        }
+        self.close_stream(token);
+        let queue = std::mem::take(&mut self.conns[token].queue);
+        for ex in queue {
+            ex.finish_err(
+                KvError::Io(io::Error::new(io::ErrorKind::NotConnected, "client closed")),
+                &self.shared.stats,
+            );
+        }
+        self.conns[token].registered = false;
+        self.shared
+            .stats
+            .registered_connections
+            .fetch_sub(1, Ordering::Relaxed);
+        self.free.push(token);
     }
 
     fn adopt_stream(&mut self, idx: usize, stream: TcpStream) -> io::Result<()> {
@@ -497,14 +834,15 @@ impl EventLoop {
 
     fn start_reconnect(&mut self, idx: usize) {
         let conn = &mut self.conns[idx];
-        if conn.reconnecting {
+        if conn.reconnecting || !conn.registered {
             return;
         }
         conn.reconnecting = true;
         let generation = conn.generation;
+        let addr = conn.addr;
+        let connect_timeout = conn.timeout.max(Duration::from_millis(50));
         let shared = Arc::clone(&self.shared);
-        let addr = self.addr;
-        let connect_timeout = self.timeout.max(Duration::from_millis(50));
+        shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
         let spawned = std::thread::Builder::new()
             .name("memkv-reconnect".into())
             .spawn(move || {
@@ -539,9 +877,9 @@ impl EventLoop {
     /// reconnect; everything else completes with the I/O error.
     fn kill_conn(&mut self, idx: usize, err: io::Error) {
         self.close_stream(idx);
-        let conn = &mut self.conns[idx];
+        let queue = std::mem::take(&mut self.conns[idx].queue);
         let mut keep = VecDeque::new();
-        while let Some(mut ex) = conn.queue.pop_front() {
+        for mut ex in queue {
             if ex.idempotent && !ex.retried {
                 ex.retried = true;
                 ex.seg = 0;
@@ -549,10 +887,10 @@ impl EventLoop {
                 ex.got.clear();
                 keep.push_back(ex);
             } else {
-                ex.finish_err(KvError::Io(dup_io(&err)));
+                ex.finish_err(KvError::Io(dup_io(&err)), &self.shared.stats);
             }
         }
-        conn.queue = keep;
+        self.conns[idx].queue = keep;
         if !self.conns[idx].queue.is_empty() {
             self.start_reconnect(idx);
         }
@@ -561,8 +899,9 @@ impl EventLoop {
     /// Complete every queued batch with `err` (terminal — no retry).
     fn fail_queue(&mut self, idx: usize, err: io::Error) {
         self.close_stream(idx);
-        while let Some(ex) = self.conns[idx].queue.pop_front() {
-            ex.finish_err(KvError::Io(dup_io(&err)));
+        let queue = std::mem::take(&mut self.conns[idx].queue);
+        for ex in queue {
+            ex.finish_err(KvError::Io(dup_io(&err)), &self.shared.stats);
         }
     }
 
@@ -633,7 +972,7 @@ impl EventLoop {
                     front.got.push(resp);
                     if front.got.len() == front.expect {
                         let ex = conn.queue.pop_front().expect("front exists");
-                        ex.finish_ok();
+                        ex.finish_ok(&self.shared.stats);
                     }
                 }
             }
@@ -645,7 +984,7 @@ impl EventLoop {
     /// kill path.
     fn poison_conn(&mut self, idx: usize, err: KvError) {
         if let Some(front) = self.conns[idx].queue.pop_front() {
-            front.finish_err(err);
+            front.finish_err(err, &self.shared.stats);
         }
         self.kill_conn(
             idx,
@@ -689,8 +1028,10 @@ impl EventLoop {
 
     /// Time out the front batch of any connection whose deadline passed.
     /// The front has the earliest deadline (FIFO submission, uniform
-    /// timeout); abandoning its responses desynchronizes the FIFO, so the
-    /// connection dies with it and later batches retry or fail.
+    /// per-registration timeout); abandoning its responses desynchronizes
+    /// the FIFO, so the connection dies with it and later batches retry
+    /// or fail. One scan covers every server's connections — the shared
+    /// deadline wheel.
     fn expire_deadlines(&mut self) {
         let now = Instant::now();
         for idx in 0..self.conns.len() {
@@ -700,9 +1041,11 @@ impl EventLoop {
                 .is_some_and(|ex| ex.deadline <= now);
             if expired {
                 let front = self.conns[idx].queue.pop_front().expect("front expired");
-                front.finish_err(KvError::Timeout {
-                    after: self.timeout,
-                });
+                let after = self.conns[idx].timeout;
+                // Count before delivering: a caller that observed the
+                // Timeout error must also observe the counter.
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                front.finish_err(KvError::Timeout { after }, &self.shared.stats);
                 self.kill_conn(
                     idx,
                     io::Error::new(
@@ -724,11 +1067,15 @@ impl EventLoop {
     fn abort_all(&mut self) {
         for idx in 0..self.conns.len() {
             self.close_stream(idx);
-            while let Some(ex) = self.conns[idx].queue.pop_front() {
-                ex.finish_err(KvError::Io(io::Error::new(
-                    io::ErrorKind::NotConnected,
-                    "client shut down",
-                )));
+            let queue = std::mem::take(&mut self.conns[idx].queue);
+            for ex in queue {
+                ex.finish_err(
+                    KvError::Io(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        "client shut down",
+                    )),
+                    &self.shared.stats,
+                );
             }
         }
     }

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use crate::client::KvClient;
 use crate::net::{KvServer, PoolConfig, TcpClient};
+use crate::reactor::ReactorHandle;
 use crate::store::Store;
 
 /// Traffic shape applied to each direction of a proxied connection.
@@ -375,13 +376,19 @@ impl ShapedCluster {
         &self.servers[i]
     }
 
-    /// Connect one [`TcpClient`] through each proxy.
+    /// Connect one [`TcpClient`] through each proxy, all registered on a
+    /// single shared reactor — the per-mount deployment shape. The
+    /// reactor handle lives inside the clients; it shuts down when the
+    /// last client drops.
     pub fn clients(&self, config: PoolConfig) -> Vec<Arc<dyn KvClient>> {
+        let reactor = ReactorHandle::new().expect("spawn shared reactor");
         self.proxies
             .iter()
             .map(|p| {
-                Arc::new(TcpClient::connect_with(p.addr(), config.clone()).expect("connect client"))
-                    as Arc<dyn KvClient>
+                Arc::new(
+                    TcpClient::connect_shared(p.addr(), config.clone(), &reactor)
+                        .expect("connect client"),
+                ) as Arc<dyn KvClient>
             })
             .collect()
     }

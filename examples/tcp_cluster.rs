@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use memfs::memfs_core::{MemFs, MemFsConfig};
-use memfs::memkv::net::{KvServer, PoolConfig, TcpClient};
-use memfs::memkv::{KvClient, Store, StoreConfig};
+use memfs::memkv::net::{KvServer, TcpClient};
+use memfs::memkv::{Store, StoreConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Start four storage servers on ephemeral localhost ports.
@@ -27,26 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {a}");
     }
 
-    // Mount MemFS over TCP clients — this is the Libmemcached role: the
-    // client hashes each stripe key to a server; the servers never talk
-    // to each other. Each client keeps a small connection pool and
-    // pipelines batched requests (prefetch windows and write drains
-    // travel as multi-key frames).
+    // Mount MemFS over TCP — this is the Libmemcached role: the client
+    // hashes each stripe key to a server; the servers never talk to each
+    // other. Each client keeps a small connection pool and pipelines
+    // batched requests (prefetch windows and write drains travel as
+    // multi-key frames); all of the mount's sockets are multiplexed on
+    // one shared reactor thread.
     let config = MemFsConfig {
         stripe_size: 256 << 10,
         ..MemFsConfig::default()
     };
-    let clients: Vec<Arc<dyn KvClient>> = addrs
-        .iter()
-        .map(|a| {
-            let pool = PoolConfig {
-                connections: config.pool_connections,
-                ..PoolConfig::default()
-            };
-            Arc::new(TcpClient::connect_with(a, pool).expect("connect")) as Arc<dyn KvClient>
-        })
-        .collect();
-    let fs = MemFs::new(clients, config)?;
+    let fs = MemFs::connect(&addrs, config)?;
 
     // Push a 16 MiB file through the wire, striped.
     let payload: Vec<u8> = (0..16usize << 20).map(|i| (i % 253) as u8).collect();

@@ -14,6 +14,11 @@
 # real-TCP bandwidth-capped shaped proxies. Bar: 8-server aggregate
 # fan-out read and write throughput each >= 1.5x the 4-server figure.
 #
+# BENCH_pr5.json — `reactor_record`: shared per-mount reactor
+# consolidation. Bars: a 16-server mount runs exactly 1 reactor thread
+# (vs 16 standalone), cross-server completion batching factor > 1, and
+# 8v4 shaped scaling holds PR 4's 1.5x floor on the shared loop.
+#
 # Each binary exits non-zero if a bar is missed, failing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,5 +32,11 @@ grep -o '"acceptance": .*' "$out"
 out="BENCH_pr4.json"
 echo "==> cargo run --release -p memfs-bench --bin scaling_record"
 cargo run --release -p memfs-bench --bin scaling_record > "$out"
+echo "==> wrote $out"
+grep -o '"acceptance": .*' "$out"
+
+out="BENCH_pr5.json"
+echo "==> cargo run --release -p memfs-bench --bin reactor_record"
+cargo run --release -p memfs-bench --bin reactor_record > "$out"
 echo "==> wrote $out"
 grep -o '"acceptance": .*' "$out"

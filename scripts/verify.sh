@@ -16,7 +16,8 @@
 # in-flight gauges that never settle, out-of-order reassembly) that a
 # single quiet run can miss. It also runs the (otherwise `--ignored`)
 # shaped-cluster scaling regression: 8 bandwidth-capped servers must
-# deliver >= 1.5x the 4-server aggregate batched throughput.
+# deliver >= 1.5x the 4-server aggregate batched throughput, plus the
+# shared-reactor thread census and stall/kill isolation suites.
 #
 # --soak loops the shaped-cluster transport suites (failure injection,
 # shaped e2e, scaling) with a randomized MEMFS_SHAPE_SEED per iteration
@@ -59,6 +60,10 @@ for arg in "$@"; do
                 concurrent_misses_coalesce_into_one_fetch \
                 cache_never_exceeds_capacity_under_random_ops \
                 unlink_open_file
+            # reactor_threads counts process-wide threads: own binary,
+            # one test, no parallel siblings.
+            cargo test -q --test reactor_threads
+            RUST_TEST_THREADS=16 cargo test -q --test shared_reactor
         done
         echo "==> shaped-cluster scaling regression (8 vs 4 servers)"
         cargo test -q --release --test shaped_scaling -- --ignored --nocapture
@@ -71,6 +76,7 @@ for arg in "$@"; do
             echo "  -- iteration $i (MEMFS_SHAPE_SEED=$seed)"
             MEMFS_SHAPE_SEED="$seed" cargo test -q -p memfs-memkv --test tcp_failures
             MEMFS_SHAPE_SEED="$seed" cargo test -q --test tcp_e2e
+            MEMFS_SHAPE_SEED="$seed" cargo test -q --test shared_reactor
             MEMFS_SHAPE_SEED="$seed" cargo test -q --release --test shaped_scaling -- --ignored
         done
         ;;

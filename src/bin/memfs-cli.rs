@@ -15,11 +15,9 @@
 //! ```
 
 use std::io::{Read, Write};
-use std::sync::Arc;
 
 use memfs::memfs_core::{MemFs, MemFsConfig};
 use memfs::memkv::net::TcpClient;
-use memfs::memkv::KvClient;
 
 fn usage() -> ! {
     eprintln!(
@@ -49,18 +47,9 @@ fn connect(servers: &str) -> (Vec<String>, MemFs) {
     if addrs.is_empty() {
         usage();
     }
-    let clients: Vec<Arc<dyn KvClient>> = addrs
-        .iter()
-        .map(|a| {
-            let c = TcpClient::connect(a.as_str()).unwrap_or_else(|e| {
-                eprintln!("memfs-cli: cannot connect to {a}: {e}");
-                std::process::exit(1);
-            });
-            Arc::new(c) as Arc<dyn KvClient>
-        })
-        .collect();
-    let fs = MemFs::new(clients, MemFsConfig::default()).unwrap_or_else(|e| {
-        eprintln!("memfs-cli: mount failed: {e}");
+    // One shared reactor thread multiplexes every server's sockets.
+    let fs = MemFs::connect(&addrs, MemFsConfig::default()).unwrap_or_else(|e| {
+        eprintln!("memfs-cli: cannot mount {servers}: {e}");
         std::process::exit(1);
     });
     (addrs, fs)

@@ -1,0 +1,216 @@
+//! Behavior of the shared per-mount reactor under a shaped cluster:
+//! one bad server must not wedge the one loop everyone multiplexes on,
+//! and the loop's counters ([`memfs::memkv::ReactorStatsSnapshot`], via
+//! `ServerPool::reactor_stats`) must describe what actually happened —
+//! wakeups, cross-server completion batches, registered connections,
+//! timeouts, reconnects.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use memfs::memfs_core::{DistributorKind, MemFsError, ServerPool};
+use memfs::memkv::net::PoolConfig;
+use memfs::memkv::testutil::{Shape, ShapedCluster};
+use memfs::memkv::KvError;
+
+const N: usize = 8;
+
+/// One key per server, so a fan-out touches the whole cluster.
+fn balanced_keys(pool: &ServerPool) -> Vec<Bytes> {
+    let mut keys: Vec<Option<Bytes>> = vec![None; N];
+    let mut i = 0u64;
+    while keys.iter().any(Option::is_none) {
+        let key = Bytes::from(format!("k{i}"));
+        let server = pool.server_for(&key).0;
+        if keys[server].is_none() {
+            keys[server] = Some(key);
+        }
+        i += 1;
+    }
+    keys.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn stalled_server_is_isolated_and_counted_by_the_shared_loop() {
+    let cluster = ShapedCluster::spawn(N, Shape::clean());
+    let config = PoolConfig {
+        timeout: Duration::from_millis(400),
+        ..PoolConfig::default()
+    };
+    let clients = cluster.clients(config.clone());
+    let pool = ServerPool::with_options(clients, DistributorKind::default(), 1, 0);
+
+    // All eight clients share one reactor; its connection census covers
+    // the whole mount.
+    let snaps = pool.reactor_stats();
+    assert_eq!(snaps.len(), 1, "eight clients must dedup to one reactor");
+    assert_eq!(
+        snaps[0].registered_connections,
+        N * config.connections,
+        "census covers every server's pooled connections"
+    );
+
+    let keys = balanced_keys(&pool);
+    let payload = Bytes::from(vec![7u8; 32 << 10]);
+    for key in &keys {
+        pool.set(key, payload.clone()).unwrap();
+    }
+    for (r, key) in pool.get_many(&keys).iter().zip(&keys) {
+        assert!(r.is_ok(), "warm-up read of {key:?} failed: {r:?}");
+    }
+
+    // Stall one server mid-mount. The other seven keep streaming through
+    // the same epoll loop; only the stalled server's key times out.
+    let stalled = 3;
+    cluster.proxy(stalled).stall();
+    let start = Instant::now();
+    let results = pool.get_many(&keys);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "stalled server serialized the shared loop: {elapsed:?}"
+    );
+    for (server, result) in results.iter().enumerate() {
+        if server == stalled {
+            let err = result.as_ref().expect_err("stalled server must time out");
+            assert!(
+                matches!(err, MemFsError::Storage(KvError::Timeout { .. })),
+                "stalled server surfaced {err:?}, not KvError::Timeout"
+            );
+        } else {
+            assert!(
+                result.is_ok(),
+                "healthy server {server} was dragged down: {result:?}"
+            );
+        }
+    }
+
+    let after = pool.reactor_stats()[0];
+    assert!(after.wakeups > 0, "loop never woke: {after:?}");
+    assert!(
+        after.completions >= (2 * N) as u64,
+        "two full fan-outs must complete at least {} exchanges: {after:?}",
+        2 * N
+    );
+    assert!(
+        after.completion_batches > 0 && after.completion_batches <= after.completions,
+        "batch count out of range: {after:?}"
+    );
+    assert!(after.timeouts >= 1, "deadline wheel never fired: {after:?}");
+
+    // Recovery: once the stall clears, the loop reconnects the poisoned
+    // connections and the stalled server's keys come back.
+    cluster.proxy(stalled).unstall();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if pool.get(&keys[stalled]).is_ok() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled server never recovered after unstall"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The timeout killed one pooled connection; the gets above may have
+    // round-robined onto its healthy siblings. Sweep every pooled
+    // connection so the killed one gets used — its first submit must
+    // lazily reconnect (and replay the idempotent get) rather than fail.
+    for _ in 0..config.connections {
+        pool.get(&keys[stalled]).unwrap();
+    }
+    let recovered = pool.reactor_stats()[0];
+    assert!(
+        recovered.reconnects >= 1,
+        "recovery must go through a fenced reconnect: {recovered:?}"
+    );
+    assert_eq!(
+        recovered.registered_connections,
+        N * config.connections,
+        "reconnects must not leak or drop registrations"
+    );
+}
+
+#[test]
+fn killed_server_fails_fast_without_blocking_siblings() {
+    let cluster = ShapedCluster::spawn(N, Shape::clean());
+    let config = PoolConfig {
+        timeout: Duration::from_millis(400),
+        ..PoolConfig::default()
+    };
+    let clients = cluster.clients(config);
+    let pool = ServerPool::with_options(clients, DistributorKind::default(), 1, 0);
+    let keys = balanced_keys(&pool);
+    for key in &keys {
+        pool.set(key, Bytes::from_static(b"v")).unwrap();
+    }
+
+    // A killed server severs its sockets: the shared loop fails that
+    // server's requests fast (no waiting out the timeout) while the
+    // seven others answer normally.
+    let dead = 5;
+    cluster.proxy(dead).kill();
+    let start = Instant::now();
+    let results = pool.get_many(&keys);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "dead server wedged the shared loop: {elapsed:?}"
+    );
+    for (server, result) in results.iter().enumerate() {
+        if server == dead {
+            assert!(result.is_err(), "dead server must error");
+        } else {
+            assert!(
+                result.is_ok(),
+                "healthy server {server} failed alongside the dead one: {result:?}"
+            );
+        }
+    }
+
+    cluster.proxy(dead).revive();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if pool.get(&keys[dead]).is_ok() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "killed server never came back after revive"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn clean_traffic_reports_consistent_reactor_counters() {
+    let cluster = ShapedCluster::spawn(4, Shape::clean());
+    let clients = cluster.clients(PoolConfig::default());
+    let pool = ServerPool::with_options(clients, DistributorKind::default(), 1, 0);
+
+    let keys: Vec<Bytes> = (0..64).map(|i| Bytes::from(format!("c{i}"))).collect();
+    for key in &keys {
+        pool.set(key, Bytes::from(vec![1u8; 4096])).unwrap();
+    }
+    for r in pool.get_many(&keys) {
+        r.unwrap();
+    }
+
+    let s = pool.reactor_stats();
+    assert_eq!(s.len(), 1);
+    let s = s[0];
+    assert_eq!(
+        s.registered_connections,
+        4 * PoolConfig::default().connections
+    );
+    assert!(s.wakeups > 0);
+    assert!(s.completions > 0);
+    assert!(s.completion_batches > 0);
+    assert!(
+        s.batching_factor() >= 1.0,
+        "factor: {}",
+        s.batching_factor()
+    );
+    assert_eq!(s.timeouts, 0, "clean traffic must not time out");
+    assert_eq!(s.reconnects, 0, "clean traffic must not reconnect");
+}
