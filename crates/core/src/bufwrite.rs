@@ -95,13 +95,47 @@ impl WriteBuffer {
     /// Append `data` sequentially, submitting completed stripes to the
     /// background pool. Blocks only when `max_inflight` stripes are
     /// already in the air.
+    ///
+    /// Slice input pays exactly one staging copy (into the stripe
+    /// buffer); from there the stripe travels to the socket by refcount.
+    /// Callers that already own [`Bytes`] should use
+    /// [`write_bytes`](Self::write_bytes) and skip that copy too.
     pub fn write(&mut self, mut data: &[u8]) -> MemFsResult<()> {
         self.check_error()?;
         while !data.is_empty() {
             let room = self.layout.stripe_size() - self.current.len();
             let take = room.min(data.len());
+            memfs_memkv::audit::count_staged(take);
             self.current.extend_from_slice(&data[..take]);
             data = &data[take..];
+            self.written += take as u64;
+            if self.current.len() == self.layout.stripe_size() {
+                self.submit_current()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Append `data` sequentially without staging: stripe-aligned spans
+    /// are sliced straight out of `data` (a refcount bump, no copy) and
+    /// handed to the pool as-is — zero payload copies between the
+    /// caller's buffer and the socket. Only spans that must merge with a
+    /// partial stripe (an unaligned head or tail) are copied into the
+    /// stripe buffer, and those are the write path's single copy.
+    pub fn write_bytes(&mut self, mut data: Bytes) -> MemFsResult<()> {
+        self.check_error()?;
+        while !data.is_empty() {
+            if self.current.is_empty() && data.len() >= self.layout.stripe_size() {
+                let stripe = data.split_to(self.layout.stripe_size());
+                self.written += stripe.len() as u64;
+                self.push_stripe(stripe)?;
+                continue;
+            }
+            let room = self.layout.stripe_size() - self.current.len();
+            let take = room.min(data.len());
+            memfs_memkv::audit::count_staged(take);
+            self.current.extend_from_slice(&data[..take]);
+            let _ = data.split_to(take);
             self.written += take as u64;
             if self.current.len() == self.layout.stripe_size() {
                 self.submit_current()?;
@@ -148,6 +182,11 @@ impl WriteBuffer {
     /// the workers once `batch_stripes` have accumulated.
     fn submit_current(&mut self) -> MemFsResult<()> {
         let payload = self.current.split().freeze();
+        self.push_stripe(payload)
+    }
+
+    /// Queue one completed stripe payload under the next stripe key.
+    fn push_stripe(&mut self, payload: Bytes) -> MemFsResult<()> {
         let key = Bytes::from(KeySchema::stripe_key(&self.path, self.next_stripe));
         self.next_stripe += 1;
         self.batch.push((key, payload));
@@ -386,6 +425,54 @@ mod tests {
         let size = buf.finish().unwrap();
         assert_eq!(size, 1000);
         assert_eq!(read_back(&pool, "/c", size, 100), data);
+    }
+
+    #[test]
+    fn write_bytes_round_trips_aligned_stripes() {
+        let pool = make_pool(4, 1 << 30);
+        let workers = Arc::new(IoEngine::new(4, "w"));
+        let mut buf = WriteBuffer::new(
+            "/zb".into(),
+            StripeLayout::new(100),
+            Arc::clone(&pool),
+            workers,
+            4,
+            2,
+        );
+        let data: Vec<u8> = (0..700u32).map(|i| (i % 241) as u8).collect();
+        buf.write_bytes(Bytes::from(data.clone())).unwrap();
+        let size = buf.finish().unwrap();
+        assert_eq!(size, 700);
+        assert_eq!(read_back(&pool, "/zb", size, 100), data);
+    }
+
+    #[test]
+    fn write_bytes_handles_unaligned_head_and_tail() {
+        // A slice write leaves a partial stripe; the Bytes write must
+        // merge into it, then go zero-copy once realigned, then buffer
+        // its own partial tail.
+        let pool = make_pool(4, 1 << 30);
+        let workers = Arc::new(IoEngine::new(4, "w"));
+        let mut buf = WriteBuffer::new(
+            "/zu".into(),
+            StripeLayout::new(100),
+            Arc::clone(&pool),
+            workers,
+            4,
+            2,
+        );
+        let mut expected = Vec::new();
+        let head = vec![3u8; 37];
+        buf.write(&head).unwrap();
+        expected.extend_from_slice(&head);
+        let bulk: Vec<u8> = (0..333u32).map(|i| (i % 239) as u8).collect();
+        buf.write_bytes(Bytes::from(bulk.clone())).unwrap();
+        expected.extend_from_slice(&bulk);
+        buf.write_bytes(Bytes::from_static(b"tail")).unwrap();
+        expected.extend_from_slice(b"tail");
+        let size = buf.finish().unwrap();
+        assert_eq!(size, expected.len() as u64);
+        assert_eq!(read_back(&pool, "/zu", size, 100), expected);
     }
 
     #[test]

@@ -134,10 +134,7 @@ impl MemFs {
             return Err(MemFsError::InvalidPath(format!("config: {msg}")));
         }
         let n_reactors = config.reactor_threads.min(addrs.len().max(1));
-        let mut reactors = Vec::with_capacity(n_reactors);
-        for _ in 0..n_reactors {
-            reactors.push(memfs_memkv::ReactorHandle::new().map_err(MemFsError::Storage)?);
-        }
+        let reactors = memfs_memkv::ReactorSet::new(n_reactors).map_err(MemFsError::Storage)?;
         let pool_config = memfs_memkv::PoolConfig {
             connections: config.pool_connections,
             ..memfs_memkv::PoolConfig::default()
@@ -147,7 +144,7 @@ impl MemFs {
             let client = memfs_memkv::TcpClient::connect_shared(
                 addr,
                 pool_config.clone(),
-                &reactors[i % n_reactors],
+                reactors.handle_for(i),
             )
             .map_err(MemFsError::Storage)?;
             servers.push(Arc::new(client));
@@ -306,6 +303,15 @@ impl MemFs {
     pub fn write_file(&self, raw: &str, data: &[u8]) -> MemFsResult<()> {
         let mut handle = self.create(raw)?;
         handle.write_all(data)?;
+        handle.close()
+    }
+
+    /// Write a whole file from an owned [`Bytes`] buffer — the zero-copy
+    /// convenience: stripe-aligned payload spans are sliced out of `data`
+    /// by refcount and never staged again on the way to the sockets.
+    pub fn write_file_bytes(&self, raw: &str, data: Bytes) -> MemFsResult<()> {
+        let mut handle = self.create(raw)?;
+        handle.write_bytes(data)?;
         handle.close()
     }
 
@@ -625,6 +631,16 @@ impl WriteHandle {
     /// Append `data` at the end of the file.
     pub fn write_all(&mut self, data: &[u8]) -> MemFsResult<()> {
         self.buffer.as_mut().ok_or(MemFsError::Closed)?.write(data)
+    }
+
+    /// Append owned bytes at the end of the file without staging:
+    /// stripe-aligned spans travel to the storage servers as refcounted
+    /// slices of `data` (see [`WriteBuffer::write_bytes`]).
+    pub fn write_bytes(&mut self, data: Bytes) -> MemFsResult<()> {
+        self.buffer
+            .as_mut()
+            .ok_or(MemFsError::Closed)?
+            .write_bytes(data)
     }
 
     /// Write at an explicit offset — permitted only at the current end of

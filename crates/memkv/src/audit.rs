@@ -1,0 +1,43 @@
+//! Byte-accounting for the one-copy write-path invariant.
+//!
+//! Every place on the client write path that *stages* payload bytes —
+//! copies them into an intermediate buffer between the caller's memory
+//! and the socket — reports the copy here. The zero-copy test asserts
+//! that a write stages each payload byte at most once: `Bytes`-backed
+//! stripes travel from [`WriteBuffer`](../../memfs_core) through
+//! `set_many` into the reactor's vectored frame writer by reference
+//! count alone, while slice-fed writes pay exactly one staging copy at
+//! the stripe buffer.
+//!
+//! The counters are process-global relaxed atomics: negligible cost on
+//! the hot path (one uncontended `fetch_add` per *copy*, which is the
+//! very thing the write path avoids), always compiled in so release
+//! benches can report them too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STAGED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` payload bytes copied into an intermediate buffer.
+#[inline]
+pub fn count_staged(n: usize) {
+    STAGED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Total payload bytes staged since process start, monotonic.
+pub fn staged_bytes() -> u64 {
+    STAGED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_counter_is_monotonic() {
+        let before = staged_bytes();
+        count_staged(17);
+        count_staged(0);
+        assert!(staged_bytes() >= before + 17);
+    }
+}

@@ -29,6 +29,7 @@
 //!   speaking the memcached text protocol in [`proto`], for running a real
 //!   distributed MemFS across processes.
 
+pub mod audit;
 pub mod client;
 pub mod error;
 pub mod net;
@@ -37,10 +38,11 @@ mod reactor;
 pub mod stats;
 pub mod store;
 pub mod testutil;
+pub mod wheel;
 
 pub use client::{Deferred, FailableClient, KvClient, LocalClient, ThrottledClient};
 pub use error::KvError;
 pub use net::{KvServer, PoolConfig, TcpClient};
-pub use reactor::{ReactorHandle, ReactorStatsSnapshot};
+pub use reactor::{ReactorHandle, ReactorSet, ReactorStatsSnapshot};
 pub use stats::StoreStats;
 pub use store::{EvictionPolicy, Store, StoreConfig};

@@ -453,6 +453,7 @@ fn encode_batch(reqs: &[Request]) -> Vec<Bytes> {
                 head.extend_from_slice(b"\r\n");
             }
             Some(value) => {
+                crate::audit::count_staged(value.len());
                 head.extend_from_slice(value);
                 head.extend_from_slice(b"\r\n");
             }

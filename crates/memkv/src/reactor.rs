@@ -17,12 +17,14 @@
 //! tokens naming its connections inside the shared loop. One reactor
 //! thread multiplexes every server's sockets, so:
 //!
-//! * a 16-server mount runs **one** reactor thread instead of 16;
+//! * a 16-server mount runs **one** reactor thread instead of 16 (or N
+//!   threads when the mount shards its servers over a [`ReactorSet`]);
 //! * one epoll wake drains completions for *all* servers, delivering them
 //!   to waiting callers in cross-server batches (the pool's sliding
 //!   window observes completions as they land anywhere in the cluster);
-//! * the deadline wheel is shared: one timer scan covers every
-//!   connection regardless of which server it belongs to.
+//! * deadlines live in one hierarchical [`TimerWheel`] per loop: O(1)
+//!   arm/cancel, and an idle loop sleeps precisely until the next armed
+//!   timer instead of scanning every connection's queue front.
 //!
 //! Semantics carried over from the per-client reactor:
 //!
@@ -33,11 +35,12 @@
 //! * **Idempotent-only retry** — a batch that dies with the connection is
 //!   replayed once after a reconnect, but only if every request in it is
 //!   idempotent (`add`/`append`/`cas` batches surface the I/O error).
-//! * **Reconnect** — a dead connection is reopened in the background; the
-//!   pool slot recovers even when the failing batch cannot be retried.
-//!   Attempts are fenced by a per-connection generation that is bumped on
-//!   every teardown *and* on deregistration, so a stale connect can never
-//!   resurrect a closed client or a reused token slot.
+//! * **Reconnect** — a dead connection is reopened *inside the loop*: a
+//!   non-blocking `connect()` parks as [`Link::Connecting`] until epoll
+//!   reports writability and `SO_ERROR` renders the verdict. No helper
+//!   thread is ever spawned. Failed attempts back off exponentially
+//!   (10 ms doubling to 500 ms), so a refused storm costs a bounded
+//!   trickle of syscalls instead of a hot spin.
 //! * **Deadlines** — a per-call timeout
 //!   ([`crate::net::PoolConfig::timeout`], stored per registration). A
 //!   server that accepts and then never answers is timed out, the
@@ -55,7 +58,7 @@
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::os::unix::io::AsRawFd;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -67,6 +70,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{KvError, KvResult};
 use crate::net::{try_parse_response, ParseStep};
 use crate::proto::Response;
+use crate::wheel::{TimerId, TimerWheel};
 
 /// epoll token reserved for the wake eventfd.
 const WAKE_TOKEN: u64 = u64::MAX;
@@ -74,9 +78,16 @@ const WAKE_TOKEN: u64 = u64::MAX;
 const MAX_IOV: usize = 8;
 /// Read granularity for response bytes.
 const READ_CHUNK: usize = 64 * 1024;
+/// First reconnect backoff after a failed connect attempt.
+const MIN_BACKOFF: Duration = Duration::from_millis(10);
+/// Backoff ceiling — an unreachable server is probed at most ~2/s.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+/// Floor for the connect deadline, mirroring the old helper-thread
+/// `connect_timeout` floor.
+const MIN_CONNECT_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// Thin RAII wrapper over an epoll instance plus an eventfd used to wake
-/// the reactor from other threads (submitters, reconnect helpers).
+/// the reactor from other threads (submitters, handle drops).
 struct Poller {
     epfd: libc::c_int,
     wakefd: libc::c_int,
@@ -196,9 +207,17 @@ struct ReactorStats {
     registered_connections: AtomicUsize,
     /// Request deadlines fired (each severs its connection).
     timeouts: AtomicU64,
-    /// Background reconnect attempts launched. Generations are bumped on
-    /// every teardown, so this also counts connection incarnations.
+    /// Connect attempts started by the loop (lazy reconnects and
+    /// post-failure retries; initial registrations arrive pre-connected).
     reconnects: AtomicU64,
+    /// Non-blocking connects currently parked on EPOLLOUT (gauge).
+    connects_in_flight: AtomicUsize,
+    /// Timer-wheel entries demoted a level by cascading.
+    timer_cascades: AtomicU64,
+    /// Payload + frame bytes written to sockets.
+    bytes_tx: AtomicU64,
+    /// Bytes read from sockets.
+    bytes_rx: AtomicU64,
 }
 
 /// Point-in-time copy of a reactor's counters.
@@ -217,8 +236,16 @@ pub struct ReactorStatsSnapshot {
     pub registered_connections: usize,
     /// Request deadlines fired.
     pub timeouts: u64,
-    /// Background reconnect attempts launched.
+    /// Connect attempts started by the loop.
     pub reconnects: u64,
+    /// Non-blocking connects currently awaiting EPOLLOUT.
+    pub connects_in_flight: usize,
+    /// Timer-wheel cascade moves so far.
+    pub timer_cascades: u64,
+    /// Bytes written to sockets.
+    pub bytes_tx: u64,
+    /// Bytes read from sockets.
+    pub bytes_rx: u64,
 }
 
 impl ReactorStatsSnapshot {
@@ -244,6 +271,10 @@ impl ReactorStats {
             registered_connections: self.registered_connections.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            connects_in_flight: self.connects_in_flight.load(Ordering::Relaxed),
+            timer_cascades: self.timer_cascades.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
         }
     }
 }
@@ -365,23 +396,16 @@ enum Command {
         timeout: Duration,
         reply: Arc<RegisterReply>,
     },
-    /// Release token slots: queued batches fail with `NotConnected`, the
-    /// generation is bumped (fencing stale reconnects), and the slots
-    /// return to the free list. Fire-and-forget — a dropping client does
-    /// not wait on the loop.
+    /// Release token slots: queued batches fail with `NotConnected`, any
+    /// in-flight connect is abandoned, and the slots return to the free
+    /// list. Fire-and-forget — a dropping client does not wait on the
+    /// loop.
     Deregister {
         tokens: Vec<usize>,
     },
     Submit {
         conn: usize,
         call: Exchange,
-    },
-    /// A background connect finished. `generation` pins the attempt to the
-    /// connection incarnation that requested it; stale results are dropped.
-    Reconnected {
-        conn: usize,
-        generation: u64,
-        result: io::Result<TcpStream>,
     },
 }
 
@@ -396,48 +420,80 @@ struct Shared {
     stats: ReactorStats,
 }
 
+/// What a timer firing means for its connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TimerKind {
+    /// The front exchange's deadline passed.
+    Deadline,
+    /// A non-blocking connect never became writable.
+    ConnectTimeout,
+    /// Backoff elapsed; a parked queue may try connecting again.
+    ConnectRetry,
+}
+
+/// Transport state of one connection slot.
+enum Link {
+    /// No socket. Submits park on the queue and (re)connect lazily.
+    Down,
+    /// Non-blocking connect in flight, fd registered for EPOLLOUT.
+    Connecting(OwnedFd),
+    /// Established stream registered for EPOLLIN.
+    Up(TcpStream),
+}
+
 /// Per-connection state, owned exclusively by the reactor thread. Slots
-/// are reused across registrations; `generation` is monotonic over the
-/// slot's whole lifetime so a reconnect fenced to one incarnation can
-/// never land in a later one.
+/// are reused across registrations. Stale timers cannot cross
+/// incarnations: every teardown cancels the slot's armed timers, and
+/// [`TimerId`]s are generation-checked besides.
 struct ConnState {
-    /// `None` while disconnected (dead or reconnecting).
-    stream: Option<TcpStream>,
-    /// Bumped every time the stream is torn down *or* the slot is
-    /// deregistered; fences stale reconnects.
-    generation: u64,
+    link: Link,
     /// In-flight batches in submission order. The wire answers in the same
     /// order, so the front batch owns the next parsed response.
     queue: VecDeque<Exchange>,
     /// Accumulated unparsed response bytes.
     inbuf: Vec<u8>,
-    /// Whether EPOLLOUT is currently registered.
+    /// Whether EPOLLOUT is currently registered (established links).
     want_write: bool,
-    /// A background connect attempt is outstanding. Deliberately *not*
-    /// reset on deregister/re-register: it pairs 1:1 with an outstanding
-    /// attempt thread, whose completion clears it (and restarts a fresh
-    /// attempt if the current incarnation still needs one).
-    reconnecting: bool,
-    /// Server this slot reconnects to (meaningless while unregistered).
+    /// Server this slot connects to (meaningless while unregistered).
     addr: SocketAddr,
     /// Per-request deadline for this slot's registration.
     timeout: Duration,
     /// Slot is owned by a live [`Registration`].
     registered: bool,
+    /// Armed wheel timer for the front exchange's deadline. The front has
+    /// the earliest deadline (FIFO submission, uniform timeout), so one
+    /// timer per connection suffices; re-armed on every front change.
+    deadline_timer: Option<TimerId>,
+    /// Armed `ConnectTimeout` (while `Connecting`) or `ConnectRetry`
+    /// (while `Down` in backoff) — exclusive by link state.
+    connect_timer: Option<TimerId>,
+    /// Current reconnect backoff; zero after a successful connect.
+    backoff: Duration,
+    /// Earliest instant the next connect attempt may start.
+    retry_at: Option<Instant>,
 }
 
 impl ConnState {
     fn new() -> ConnState {
         ConnState {
-            stream: None,
-            generation: 0,
+            link: Link::Down,
             queue: VecDeque::new(),
             inbuf: Vec::with_capacity(4096),
             want_write: false,
-            reconnecting: false,
             addr: SocketAddr::from(([0, 0, 0, 0], 0)),
             timeout: Duration::from_secs(10),
             registered: false,
+            deadline_timer: None,
+            connect_timer: None,
+            backoff: Duration::ZERO,
+            retry_at: None,
+        }
+    }
+
+    fn stream(&self) -> Option<&TcpStream> {
+        match &self.link {
+            Link::Up(stream) => Some(stream),
+            _ => None,
         }
     }
 }
@@ -471,6 +527,10 @@ impl ReactorHandle {
     /// Spawn the reactor thread (named `memkv-reactor`) with no
     /// registered connections.
     pub fn new() -> KvResult<ReactorHandle> {
+        Self::named("memkv-reactor".into())
+    }
+
+    fn named(name: String) -> KvResult<ReactorHandle> {
         let poller = Poller::new()?;
         let shared = Arc::new(Shared {
             poller,
@@ -484,9 +544,10 @@ impl ReactorHandle {
             shared: Arc::clone(&shared),
             conns: Vec::new(),
             free: Vec::new(),
+            wheel: TimerWheel::new(Instant::now()),
         };
         let thread = std::thread::Builder::new()
-            .name("memkv-reactor".into())
+            .name(name)
             .spawn(move || event_loop.run())
             .map_err(KvError::Io)?;
         Ok(ReactorHandle {
@@ -568,6 +629,50 @@ impl ReactorHandle {
     }
 }
 
+/// A fixed fleet of reactors for one mount, sharding servers across
+/// loops by index. One loop saturates most mounts; wide mounts on fast
+/// networks can spread their servers over several
+/// (`MemFsConfig::reactor_threads`). Threads are named
+/// `memkv-reactor/<i>` — the census prefix `memkv-reactor` still counts
+/// them.
+#[derive(Clone)]
+pub struct ReactorSet {
+    reactors: Vec<ReactorHandle>,
+}
+
+impl ReactorSet {
+    /// Spawn `n` reactor loops (at least one).
+    pub fn new(n: usize) -> KvResult<ReactorSet> {
+        let reactors = (0..n.max(1))
+            .map(|i| {
+                let mut name = format!("memkv-reactor/{i}");
+                // Linux thread names cap at 15 bytes; keep the census
+                // prefix intact for any fleet size.
+                name.truncate(15);
+                ReactorHandle::named(name)
+            })
+            .collect::<KvResult<Vec<_>>>()?;
+        Ok(ReactorSet { reactors })
+    }
+
+    pub fn len(&self) -> usize {
+        self.reactors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reactors.is_empty()
+    }
+
+    /// The loop that owns server `server_index`'s connections.
+    pub fn handle_for(&self, server_index: usize) -> &ReactorHandle {
+        &self.reactors[server_index % self.reactors.len()]
+    }
+
+    pub fn handles(&self) -> &[ReactorHandle] {
+        &self.reactors
+    }
+}
+
 /// One client's set of connections inside a shared reactor. Dropping it
 /// deregisters the connections (queued batches fail with `NotConnected`)
 /// and keeps the reactor alive for other registrants.
@@ -618,12 +723,109 @@ fn dup_io(err: &io::Error) -> io::Error {
     io::Error::new(err.kind(), err.to_string())
 }
 
+/// Outcome of starting a non-blocking `connect()`.
+enum ConnectStart {
+    /// Completed synchronously (possible on loopback).
+    Connected(OwnedFd),
+    /// `EINPROGRESS`: park on EPOLLOUT for the verdict.
+    InProgress(OwnedFd),
+}
+
+/// `socket(SOCK_NONBLOCK) + connect()`, never blocking the loop.
+fn start_nonblocking_connect(addr: &SocketAddr) -> io::Result<ConnectStart> {
+    let domain = match addr {
+        SocketAddr::V4(_) => libc::AF_INET,
+        SocketAddr::V6(_) => libc::AF_INET6,
+    };
+    let raw = unsafe {
+        libc::socket(
+            domain,
+            libc::SOCK_STREAM | libc::SOCK_NONBLOCK | libc::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+    let rc = match addr {
+        SocketAddr::V4(a) => {
+            let sin = libc::sockaddr_in {
+                sin_family: libc::AF_INET as libc::sa_family_t,
+                sin_port: a.port().to_be(),
+                sin_addr: libc::in_addr {
+                    s_addr: u32::from_ne_bytes(a.ip().octets()),
+                },
+                sin_zero: [0; 8],
+            };
+            unsafe {
+                libc::connect(
+                    fd.as_raw_fd(),
+                    (&sin as *const libc::sockaddr_in).cast(),
+                    std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+                )
+            }
+        }
+        SocketAddr::V6(a) => {
+            let sin6 = libc::sockaddr_in6 {
+                sin6_family: libc::AF_INET6 as libc::sa_family_t,
+                sin6_port: a.port().to_be(),
+                sin6_flowinfo: a.flowinfo(),
+                sin6_addr: libc::in6_addr {
+                    s6_addr: a.ip().octets(),
+                },
+                sin6_scope_id: a.scope_id(),
+            };
+            unsafe {
+                libc::connect(
+                    fd.as_raw_fd(),
+                    (&sin6 as *const libc::sockaddr_in6).cast(),
+                    std::mem::size_of::<libc::sockaddr_in6>() as libc::socklen_t,
+                )
+            }
+        }
+    };
+    if rc == 0 {
+        return Ok(ConnectStart::Connected(fd));
+    }
+    let err = io::Error::last_os_error();
+    match err.raw_os_error() {
+        Some(code) if code == libc::EINPROGRESS || code == libc::EINTR => {
+            Ok(ConnectStart::InProgress(fd))
+        }
+        _ => Err(err),
+    }
+}
+
+/// Pending error on a connecting socket (`SO_ERROR`), 0 when connected.
+fn connect_so_error(fd: RawFd) -> io::Result<i32> {
+    let mut err: libc::c_int = 0;
+    let mut len = std::mem::size_of::<libc::c_int>() as libc::socklen_t;
+    let rc = unsafe {
+        libc::getsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_ERROR,
+            (&mut err as *mut libc::c_int).cast(),
+            &mut len,
+        )
+    };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(err)
+    }
+}
+
 struct EventLoop {
     shared: Arc<Shared>,
     /// Token-indexed connection slab.
     conns: Vec<ConnState>,
     /// Deregistered slots available for reuse.
     free: Vec<usize>,
+    /// All armed timers of this loop: request deadlines, connect
+    /// timeouts, reconnect backoffs.
+    wheel: TimerWheel<(usize, TimerKind)>,
 }
 
 impl EventLoop {
@@ -631,7 +833,7 @@ impl EventLoop {
         let mut events: Vec<(u64, u32)> = Vec::new();
         loop {
             // Completions delivered by this iteration — commands, expired
-            // deadlines and socket events alike — count as one wake batch.
+            // timers and socket events alike — count as one wake batch.
             let before = self.shared.stats.completions.load(Ordering::Relaxed);
             let (commands, shutdown) = {
                 let mut inbox = self.shared.inbox.lock();
@@ -644,12 +846,19 @@ impl EventLoop {
                 self.abort_all();
                 return;
             }
-            self.expire_deadlines();
+            for (idx, kind) in self.wheel.advance(Instant::now()) {
+                self.handle_timer(idx, kind);
+            }
+            self.shared
+                .stats
+                .timer_cascades
+                .store(self.wheel.cascades(), Ordering::Relaxed);
             let poll_timeout = self
-                .next_deadline()
+                .wheel
+                .next_wake()
                 .map(|d| d.saturating_duration_since(Instant::now()));
             if self.shared.poller.wait(&mut events, poll_timeout).is_err() {
-                // Transient poll failure: retry; deadlines still advance.
+                // Transient poll failure: retry; timers still advance.
                 continue;
             }
             self.shared.stats.wakeups.fetch_add(1, Ordering::Relaxed);
@@ -660,6 +869,14 @@ impl EventLoop {
                 }
                 let idx = token as usize;
                 if idx >= self.conns.len() {
+                    continue;
+                }
+                if matches!(self.conns[idx].link, Link::Connecting(_)) {
+                    // Writable or error: either way SO_ERROR renders the
+                    // verdict on the in-flight connect.
+                    if ev & (libc::EPOLLOUT | libc::EPOLLERR | libc::EPOLLHUP) != 0 {
+                        self.finish_connect(idx);
+                    }
                     continue;
                 }
                 if ev & (libc::EPOLLERR | libc::EPOLLHUP) != 0 {
@@ -701,43 +918,81 @@ impl EventLoop {
             }
             Command::Submit { conn, call } => {
                 self.conns[conn].queue.push_back(call);
-                if self.conns[conn].stream.is_none() {
-                    // Lazy reconnect: a connection that died idle (server
-                    // restart between calls) comes back on first use.
-                    self.start_reconnect(conn);
-                } else {
+                if self.conns[conn].queue.len() == 1 {
+                    self.arm_front_deadline(conn);
+                }
+                if matches!(self.conns[conn].link, Link::Up(_)) {
                     self.flush_conn(conn);
+                } else if matches!(self.conns[conn].link, Link::Down) {
+                    // Lazy reconnect: a connection that died idle (server
+                    // restart between calls) comes back on first use. A
+                    // pending connect needs nothing — its completion
+                    // flushes the queue.
+                    self.maybe_connect(conn);
                 }
             }
-            Command::Reconnected {
-                conn,
-                generation,
-                result,
-            } => {
-                self.conns[conn].reconnecting = false;
-                if generation != self.conns[conn].generation {
-                    // The connection was torn down again (or the slot
-                    // deregistered) after this attempt started; if the
-                    // current incarnation still needs a stream, start a
-                    // correctly-fenced fresh attempt.
-                    if self.conns[conn].registered
-                        && self.conns[conn].stream.is_none()
-                        && !self.conns[conn].queue.is_empty()
-                    {
-                        self.start_reconnect(conn);
-                    }
+        }
+    }
+
+    fn handle_timer(&mut self, idx: usize, kind: TimerKind) {
+        match kind {
+            TimerKind::Deadline => {
+                self.conns[idx].deadline_timer = None;
+                let now = Instant::now();
+                let expired = self.conns[idx]
+                    .queue
+                    .front()
+                    .is_some_and(|ex| ex.deadline <= now);
+                if !expired {
+                    // Wheel ticks round up, so this is unreachable in
+                    // practice; re-arm defensively rather than drop a
+                    // deadline.
+                    self.arm_front_deadline(idx);
                     return;
                 }
-                match result {
-                    Ok(stream) => match self.adopt_stream(conn, stream) {
-                        Ok(()) => self.flush_conn(conn),
-                        Err(err) => self.fail_queue(conn, err),
-                    },
-                    // Reconnect failed: the retry budget is spent, surface
-                    // the transport error to every queued batch.
-                    Err(err) => self.fail_queue(conn, err),
+                let front = self.conns[idx].queue.pop_front().expect("front expired");
+                let after = self.conns[idx].timeout;
+                // Count before delivering: a caller that observed the
+                // Timeout error must also observe the counter.
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                front.finish_err(KvError::Timeout { after }, &self.shared.stats);
+                self.kill_conn(
+                    idx,
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "connection abandoned after request timeout",
+                    ),
+                );
+            }
+            TimerKind::ConnectTimeout => {
+                self.conns[idx].connect_timer = None;
+                if matches!(self.conns[idx].link, Link::Connecting(_)) {
+                    self.connect_failed(
+                        idx,
+                        io::Error::new(io::ErrorKind::TimedOut, "connect timed out"),
+                    );
                 }
             }
+            TimerKind::ConnectRetry => {
+                self.conns[idx].connect_timer = None;
+                let wants_connect = self.conns[idx].registered
+                    && matches!(self.conns[idx].link, Link::Down)
+                    && !self.conns[idx].queue.is_empty();
+                if wants_connect {
+                    self.begin_connect(idx);
+                }
+            }
+        }
+    }
+
+    /// (Re)arm `idx`'s deadline timer for its current queue front.
+    fn arm_front_deadline(&mut self, idx: usize) {
+        if let Some(id) = self.conns[idx].deadline_timer.take() {
+            self.wheel.cancel(id);
+        }
+        if let Some(deadline) = self.conns[idx].queue.front().map(|ex| ex.deadline) {
+            let id = self.wheel.arm(deadline, (idx, TimerKind::Deadline));
+            self.conns[idx].deadline_timer = Some(id);
         }
     }
 
@@ -795,8 +1050,8 @@ impl EventLoop {
         }
     }
 
-    /// Deregister one slot: fail its queue, fence outstanding reconnects
-    /// via the generation bump in `close_stream`, and free the token.
+    /// Deregister one slot: fail its queue, abandon any in-flight
+    /// connect, cancel its timers, and free the token.
     fn release_slot(&mut self, token: usize) {
         if !self.conns[token].registered {
             return;
@@ -809,7 +1064,11 @@ impl EventLoop {
                 &self.shared.stats,
             );
         }
-        self.conns[token].registered = false;
+        self.arm_front_deadline(token); // queue empty: cancels the timer
+        let conn = &mut self.conns[token];
+        conn.registered = false;
+        conn.backoff = Duration::ZERO;
+        conn.retry_at = None;
         self.shared
             .stats
             .registered_connections
@@ -826,48 +1085,146 @@ impl EventLoop {
             libc::EPOLLIN | libc::EPOLLRDHUP,
         )?;
         let conn = &mut self.conns[idx];
-        conn.stream = Some(stream);
+        conn.link = Link::Up(stream);
         conn.want_write = false;
         conn.inbuf.clear();
         Ok(())
     }
 
-    fn start_reconnect(&mut self, idx: usize) {
-        let conn = &mut self.conns[idx];
-        if conn.reconnecting || !conn.registered {
+    /// Start connecting `idx` now if allowed, or park behind a
+    /// `ConnectRetry` timer while backoff from the last failure runs.
+    fn maybe_connect(&mut self, idx: usize) {
+        let conn = &self.conns[idx];
+        if !conn.registered || !matches!(conn.link, Link::Down) {
             return;
         }
-        conn.reconnecting = true;
-        let generation = conn.generation;
-        let addr = conn.addr;
-        let connect_timeout = conn.timeout.max(Duration::from_millis(50));
-        let shared = Arc::clone(&self.shared);
-        shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
-        let spawned = std::thread::Builder::new()
-            .name("memkv-reconnect".into())
-            .spawn(move || {
-                let result = TcpStream::connect_timeout(&addr, connect_timeout);
-                shared.inbox.lock().commands.push(Command::Reconnected {
-                    conn: idx,
-                    generation,
-                    result,
-                });
-                shared.poller.notify();
-            });
-        if spawned.is_err() {
-            self.conns[idx].reconnecting = false;
-            self.fail_queue(idx, io::Error::other("failed to spawn reconnect thread"));
+        if conn.connect_timer.is_some() {
+            return; // a retry is already scheduled
+        }
+        let now = Instant::now();
+        match conn.retry_at {
+            Some(at) if at > now => {
+                let id = self.wheel.arm(at, (idx, TimerKind::ConnectRetry));
+                self.conns[idx].connect_timer = Some(id);
+            }
+            _ => self.begin_connect(idx),
         }
     }
 
-    /// Tear the stream down without touching the queue.
-    fn close_stream(&mut self, idx: usize) {
+    /// Issue the non-blocking connect and park it on EPOLLOUT.
+    fn begin_connect(&mut self, idx: usize) {
+        debug_assert!(matches!(self.conns[idx].link, Link::Down));
+        let addr = self.conns[idx].addr;
+        self.shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        match start_nonblocking_connect(&addr) {
+            Ok(ConnectStart::Connected(fd)) => match self.adopt_stream(idx, TcpStream::from(fd)) {
+                Ok(()) => {
+                    self.connect_succeeded(idx);
+                }
+                Err(err) => self.fail_queue(idx, err),
+            },
+            Ok(ConnectStart::InProgress(fd)) => {
+                if let Err(err) = self
+                    .shared
+                    .poller
+                    .add(fd.as_raw_fd(), idx as u64, libc::EPOLLOUT)
+                {
+                    self.record_connect_failure(idx, err);
+                    return;
+                }
+                self.shared
+                    .stats
+                    .connects_in_flight
+                    .fetch_add(1, Ordering::Relaxed);
+                let deadline = Instant::now() + self.conns[idx].timeout.max(MIN_CONNECT_TIMEOUT);
+                let id = self.wheel.arm(deadline, (idx, TimerKind::ConnectTimeout));
+                let conn = &mut self.conns[idx];
+                conn.link = Link::Connecting(fd);
+                conn.connect_timer = Some(id);
+            }
+            Err(err) => self.record_connect_failure(idx, err),
+        }
+    }
+
+    /// EPOLLOUT (or an error event) on a `Connecting` fd: read the
+    /// verdict from `SO_ERROR` and either adopt the stream or fail.
+    fn finish_connect(&mut self, idx: usize) {
+        let raw = match &self.conns[idx].link {
+            Link::Connecting(fd) => fd.as_raw_fd(),
+            _ => return,
+        };
+        match connect_so_error(raw) {
+            Ok(0) => {
+                let fd = self
+                    .teardown_connecting(idx)
+                    .expect("link checked Connecting");
+                match self.adopt_stream(idx, TcpStream::from(fd)) {
+                    Ok(()) => {
+                        self.connect_succeeded(idx);
+                        self.flush_conn(idx);
+                    }
+                    Err(err) => self.fail_queue(idx, err),
+                }
+            }
+            Ok(code) => self.connect_failed(idx, io::Error::from_raw_os_error(code)),
+            Err(err) => self.connect_failed(idx, err),
+        }
+    }
+
+    fn connect_succeeded(&mut self, idx: usize) {
         let conn = &mut self.conns[idx];
-        if let Some(stream) = conn.stream.take() {
+        conn.backoff = Duration::ZERO;
+        conn.retry_at = None;
+    }
+
+    /// Abandon the in-flight connect (if any), note the backoff, and
+    /// surface `err` to every queued batch — the replay budget of
+    /// anything that made it here is already spent.
+    fn connect_failed(&mut self, idx: usize, err: io::Error) {
+        self.teardown_connecting(idx);
+        self.record_connect_failure(idx, err);
+    }
+
+    fn record_connect_failure(&mut self, idx: usize, err: io::Error) {
+        let conn = &mut self.conns[idx];
+        conn.backoff = if conn.backoff.is_zero() {
+            MIN_BACKOFF
+        } else {
+            (conn.backoff * 2).min(MAX_BACKOFF)
+        };
+        conn.retry_at = Some(Instant::now() + conn.backoff);
+        self.fail_queue(idx, err);
+    }
+
+    /// Drop a `Connecting` fd: deregister from epoll, cancel the connect
+    /// (or retry) timer, and settle the in-flight gauge. Returns the fd
+    /// when the link really was connecting.
+    fn teardown_connecting(&mut self, idx: usize) -> Option<OwnedFd> {
+        if let Some(id) = self.conns[idx].connect_timer.take() {
+            self.wheel.cancel(id);
+        }
+        if !matches!(self.conns[idx].link, Link::Connecting(_)) {
+            return None;
+        }
+        let Link::Connecting(fd) = std::mem::replace(&mut self.conns[idx].link, Link::Down) else {
+            unreachable!("link checked above");
+        };
+        let _ = self.shared.poller.delete(fd.as_raw_fd());
+        self.shared
+            .stats
+            .connects_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        Some(fd)
+    }
+
+    /// Tear the link down without touching the queue.
+    fn close_stream(&mut self, idx: usize) {
+        drop(self.teardown_connecting(idx));
+        if let Link::Up(stream) = std::mem::replace(&mut self.conns[idx].link, Link::Down) {
             let _ = self.shared.poller.delete(stream.as_raw_fd());
             drop(stream);
         }
-        conn.generation += 1;
+        let conn = &mut self.conns[idx];
         conn.inbuf.clear();
         conn.want_write = false;
     }
@@ -891,8 +1248,9 @@ impl EventLoop {
             }
         }
         self.conns[idx].queue = keep;
+        self.arm_front_deadline(idx);
         if !self.conns[idx].queue.is_empty() {
-            self.start_reconnect(idx);
+            self.maybe_connect(idx);
         }
     }
 
@@ -903,13 +1261,14 @@ impl EventLoop {
         for ex in queue {
             ex.finish_err(KvError::Io(dup_io(&err)), &self.shared.stats);
         }
+        self.arm_front_deadline(idx); // queue empty: cancels the timer
     }
 
     fn handle_readable(&mut self, idx: usize) {
         let mut chunk = [0u8; READ_CHUNK];
         loop {
             let conn = &mut self.conns[idx];
-            let Some(stream) = conn.stream.as_ref() else {
+            let Some(stream) = conn.stream() else {
                 return;
             };
             let mut reader = stream;
@@ -932,6 +1291,10 @@ impl EventLoop {
                 }
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&chunk[..n]);
+                    self.shared
+                        .stats
+                        .bytes_rx
+                        .fetch_add(n as u64, Ordering::Relaxed);
                     if let Err(err) = self.drain_inbuf(idx) {
                         self.poison_conn(idx, err);
                         return;
@@ -950,33 +1313,40 @@ impl EventLoop {
     /// Parse as many complete responses as the buffer holds, completing
     /// front-of-queue batches as their counts fill.
     fn drain_inbuf(&mut self, idx: usize) -> KvResult<()> {
-        loop {
+        let mut front_changed = false;
+        let result = loop {
             let conn = &mut self.conns[idx];
             if conn.inbuf.is_empty() {
-                return Ok(());
+                break Ok(());
             }
             if conn.queue.is_empty() {
-                return Err(KvError::Protocol(
+                break Err(KvError::Protocol(
                     "unsolicited response bytes from server".into(),
                 ));
             }
-            match try_parse_response(&mut conn.inbuf)? {
-                ParseStep::More(hint) => {
+            match try_parse_response(&mut conn.inbuf) {
+                Err(err) => break Err(err),
+                Ok(ParseStep::More(hint)) => {
                     // A `VALUE` header announces its payload length; grow
                     // the buffer once instead of per 64 KiB read.
                     conn.inbuf.reserve(hint);
-                    return Ok(());
+                    break Ok(());
                 }
-                ParseStep::Done(resp) => {
+                Ok(ParseStep::Done(resp)) => {
                     let front = conn.queue.front_mut().expect("queue checked non-empty");
                     front.got.push(resp);
                     if front.got.len() == front.expect {
                         let ex = conn.queue.pop_front().expect("front exists");
                         ex.finish_ok(&self.shared.stats);
+                        front_changed = true;
                     }
                 }
             }
+        };
+        if front_changed {
+            self.arm_front_deadline(idx);
         }
+        result
     }
 
     /// A protocol-level breach: the front batch gets the parse error, the
@@ -997,7 +1367,15 @@ impl EventLoop {
 
     fn flush_conn(&mut self, idx: usize) {
         match write_queued(&mut self.conns[idx]) {
-            Ok(()) => self.update_write_interest(idx),
+            Ok(written) => {
+                if written > 0 {
+                    self.shared
+                        .stats
+                        .bytes_tx
+                        .fetch_add(written, Ordering::Relaxed);
+                }
+                self.update_write_interest(idx);
+            }
             Err(err) => self.kill_conn(idx, err),
         }
     }
@@ -1006,62 +1384,20 @@ impl EventLoop {
     /// (level-triggered — leaving it on would spin the reactor).
     fn update_write_interest(&mut self, idx: usize) {
         let conn = &mut self.conns[idx];
-        let Some(stream) = conn.stream.as_ref() else {
+        let want = conn.queue.iter().any(Exchange::unwritten);
+        let Some(stream) = conn.stream() else {
             return;
         };
-        let want = conn.queue.iter().any(Exchange::unwritten);
         if want != conn.want_write {
             let mut interest = libc::EPOLLIN | libc::EPOLLRDHUP;
             if want {
                 interest |= libc::EPOLLOUT;
             }
-            if self
-                .shared
-                .poller
-                .modify(stream.as_raw_fd(), idx as u64, interest)
-                .is_ok()
-            {
-                conn.want_write = want;
+            let fd = stream.as_raw_fd();
+            if self.shared.poller.modify(fd, idx as u64, interest).is_ok() {
+                self.conns[idx].want_write = want;
             }
         }
-    }
-
-    /// Time out the front batch of any connection whose deadline passed.
-    /// The front has the earliest deadline (FIFO submission, uniform
-    /// per-registration timeout); abandoning its responses desynchronizes
-    /// the FIFO, so the connection dies with it and later batches retry
-    /// or fail. One scan covers every server's connections — the shared
-    /// deadline wheel.
-    fn expire_deadlines(&mut self) {
-        let now = Instant::now();
-        for idx in 0..self.conns.len() {
-            let expired = self.conns[idx]
-                .queue
-                .front()
-                .is_some_and(|ex| ex.deadline <= now);
-            if expired {
-                let front = self.conns[idx].queue.pop_front().expect("front expired");
-                let after = self.conns[idx].timeout;
-                // Count before delivering: a caller that observed the
-                // Timeout error must also observe the counter.
-                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                front.finish_err(KvError::Timeout { after }, &self.shared.stats);
-                self.kill_conn(
-                    idx,
-                    io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "connection abandoned after request timeout",
-                    ),
-                );
-            }
-        }
-    }
-
-    fn next_deadline(&self) -> Option<Instant> {
-        self.conns
-            .iter()
-            .filter_map(|c| c.queue.front().map(|ex| ex.deadline))
-            .min()
     }
 
     fn abort_all(&mut self) {
@@ -1082,12 +1418,14 @@ impl EventLoop {
 }
 
 /// Write queued batches in FIFO order with vectored non-blocking writes,
-/// stopping at `WouldBlock`. Zero-copy: iovecs point straight into the
-/// pre-encoded segments (stripe payloads included).
-fn write_queued(conn: &mut ConnState) -> io::Result<()> {
+/// stopping at `WouldBlock`; returns the bytes written. Zero-copy: iovecs
+/// point straight into the pre-encoded segments (stripe payloads
+/// included) — this is the single-copy write path's last hop.
+fn write_queued(conn: &mut ConnState) -> io::Result<u64> {
+    let mut total: u64 = 0;
     loop {
-        let Some(mut writer) = conn.stream.as_ref() else {
-            return Ok(());
+        let Some(mut writer) = conn.stream() else {
+            return Ok(total);
         };
         let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV);
         for ex in conn.queue.iter() {
@@ -1106,7 +1444,7 @@ fn write_queued(conn: &mut ConnState) -> io::Result<()> {
             }
         }
         if slices.is_empty() {
-            return Ok(());
+            return Ok(total);
         }
         let mut n = match writer.write_vectored(&slices) {
             Ok(0) => {
@@ -1116,10 +1454,11 @@ fn write_queued(conn: &mut ConnState) -> io::Result<()> {
                 ))
             }
             Ok(n) => n,
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(total),
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
             Err(err) => return Err(err),
         };
+        total += n as u64;
         drop(slices);
         for ex in conn.queue.iter_mut() {
             while n > 0 && ex.seg < ex.segments.len() {

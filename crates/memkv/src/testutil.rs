@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use crate::client::KvClient;
 use crate::net::{KvServer, PoolConfig, TcpClient};
-use crate::reactor::ReactorHandle;
+use crate::reactor::ReactorSet;
 use crate::store::Store;
 
 /// Traffic shape applied to each direction of a proxied connection.
@@ -381,12 +381,20 @@ impl ShapedCluster {
     /// reactor handle lives inside the clients; it shuts down when the
     /// last client drops.
     pub fn clients(&self, config: PoolConfig) -> Vec<Arc<dyn KvClient>> {
-        let reactor = ReactorHandle::new().expect("spawn shared reactor");
+        self.clients_sharded(config, 1)
+    }
+
+    /// Like [`clients`](Self::clients), but sharding the servers across
+    /// `n_reactors` loops by index (a [`ReactorSet`]) — the
+    /// `reactor_threads > 1` deployment shape for wide mounts.
+    pub fn clients_sharded(&self, config: PoolConfig, n_reactors: usize) -> Vec<Arc<dyn KvClient>> {
+        let set = ReactorSet::new(n_reactors).expect("spawn reactor set");
         self.proxies
             .iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(i, p)| {
                 Arc::new(
-                    TcpClient::connect_shared(p.addr(), config.clone(), &reactor)
+                    TcpClient::connect_shared(p.addr(), config.clone(), set.handle_for(i))
                         .expect("connect client"),
                 ) as Arc<dyn KvClient>
             })

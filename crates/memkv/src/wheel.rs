@@ -1,0 +1,389 @@
+//! Hierarchical timer wheel for the shared reactor's deadlines.
+//!
+//! Four levels of 64 slots each at a 1 ms tick — the classic hashed
+//! hierarchical wheel (Varghese & Lauck): O(1) arm and cancel, and on
+//! advance only the slots that actually hold timers are visited, with
+//! higher-level slots *cascading* their contents down one level when the
+//! clock crosses their window boundary. Level 0 resolves single ticks,
+//! level 1 resolves 64-tick windows, level 2 resolves 4096-tick windows,
+//! level 3 resolves 262144-tick windows; deadlines past the addressable
+//! horizon (~4.66 h) clamp to it.
+//!
+//! Correctness properties the reactor leans on:
+//!
+//! * **Never early.** Arming rounds the deadline *up* to a tick and
+//!   clamps it at least one tick into the future; [`TimerWheel::advance`]
+//!   rounds `now` *down*, so a timer only fires once wall time has
+//!   passed its deadline.
+//! * **Exact boundaries.** When `advance` lands on a tick that is both a
+//!   cascade boundary and some timer's deadline, cascading runs first
+//!   (top level down), then the level-0 slot of that same tick fires —
+//!   so a deadline sitting exactly on a wheel-level edge is delivered at
+//!   its tick, not a window late.
+//! * **Deterministic order.** Fired timers are returned sorted by
+//!   (deadline tick, arm order), matching what a sorted-vec oracle
+//!   produces — the property test in `tests/timer_wheel.rs` relies on
+//!   this.
+//!
+//! Cancels are O(1) and lazy: the slot keeps a stale reference that is
+//! skipped (and reclaimed) when the slot is next drained. Stale
+//! references are disambiguated from slab reuse by a per-arm epoch, and
+//! externally by a generation in [`TimerId`], so a stale id can never
+//! cancel a newer timer that happens to reuse the slab index.
+
+use std::time::{Duration, Instant};
+
+const LEVELS: usize = 4;
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+const TICK_NANOS: u128 = 1_000_000;
+/// Addressable ticks across all levels (2^24 ms ≈ 4.66 h); deadlines
+/// further out clamp to the horizon and re-arm closer as time passes.
+const MAX_TICKS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// Handle to one armed timer. Stale after the timer fires or is
+/// cancelled; a stale id passed to [`TimerWheel::cancel`] is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerId {
+    index: u32,
+    generation: u32,
+}
+
+struct Armed<T> {
+    tick: u64,
+    epoch: u64,
+    payload: T,
+}
+
+struct Entry<T> {
+    generation: u32,
+    armed: Option<Armed<T>>,
+}
+
+/// The wheel. `T` is the per-timer payload returned on expiry.
+pub struct TimerWheel<T> {
+    start: Instant,
+    now_tick: u64,
+    /// `slots[level][slot]` holds `(slab index, epoch)` pairs.
+    slots: [[Vec<(u32, u64)>; SLOTS]; LEVELS],
+    /// Per-level bitmask of slots that may hold timers (bit = slot).
+    occupancy: [u64; LEVELS],
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    armed: usize,
+    epoch: u64,
+    cascades: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel whose tick 0 is `start`.
+    pub fn new(start: Instant) -> Self {
+        TimerWheel {
+            start,
+            now_tick: 0,
+            slots: std::array::from_fn(|_| std::array::from_fn(|_| Vec::new())),
+            occupancy: [0; LEVELS],
+            entries: Vec::new(),
+            free: Vec::new(),
+            armed: 0,
+            epoch: 0,
+            cascades: 0,
+        }
+    }
+
+    /// Number of currently armed timers.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+
+    /// Total entries moved down a level by cascading since construction.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    fn tick_ceil(&self, at: Instant) -> u64 {
+        let nanos = at.saturating_duration_since(self.start).as_nanos();
+        nanos.div_ceil(TICK_NANOS) as u64
+    }
+
+    fn tick_floor(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.start).as_nanos() / TICK_NANOS) as u64
+    }
+
+    fn level_for(delta: u64) -> usize {
+        debug_assert!(delta > 0);
+        if delta < 1 << SLOT_BITS {
+            0
+        } else if delta < 1 << (2 * SLOT_BITS) {
+            1
+        } else if delta < 1 << (3 * SLOT_BITS) {
+            2
+        } else {
+            3
+        }
+    }
+
+    fn place(&mut self, index: u32, epoch: u64, tick: u64) {
+        let delta = tick - self.now_tick;
+        // delta == 0 only happens while cascading the very tick being
+        // processed; the entry drops into the level-0 slot that
+        // `process_tick` fires right after the cascade.
+        let level = if delta == 0 {
+            0
+        } else {
+            Self::level_for(delta)
+        };
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slots[level][slot].push((index, epoch));
+        self.occupancy[level] |= 1 << slot;
+    }
+
+    /// Arm a timer for `deadline`, at least one tick in the future
+    /// (rounded up, so it never fires early). Returns a handle for
+    /// [`cancel`](Self::cancel).
+    pub fn arm(&mut self, deadline: Instant, payload: T) -> TimerId {
+        let tick = self
+            .tick_ceil(deadline)
+            .clamp(self.now_tick + 1, self.now_tick + MAX_TICKS - 1);
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.entries.push(Entry {
+                    generation: 0,
+                    armed: None,
+                });
+                (self.entries.len() - 1) as u32
+            }
+        };
+        let generation = self.entries[index as usize].generation;
+        self.entries[index as usize].armed = Some(Armed {
+            tick,
+            epoch,
+            payload,
+        });
+        self.armed += 1;
+        self.place(index, epoch, tick);
+        TimerId { index, generation }
+    }
+
+    /// Cancel an armed timer, returning its payload. Stale ids (already
+    /// fired, already cancelled, or from a reused slot) return `None`.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        let entry = self.entries.get_mut(id.index as usize)?;
+        if entry.generation != id.generation {
+            return None;
+        }
+        let armed = entry.armed.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.armed -= 1;
+        Some(armed.payload)
+    }
+
+    /// Earliest instant any armed timer could fire, for sizing a poll
+    /// timeout. `None` when the wheel is empty. May be earlier than the
+    /// true next expiry when a slot holds only cancelled stragglers —
+    /// the resulting advance is a cheap no-op, never a missed deadline.
+    pub fn next_wake(&self) -> Option<Instant> {
+        self.next_event_tick()
+            .map(|t| self.start + Duration::from_millis(t))
+    }
+
+    /// Next tick at which some occupied slot fires or cascades.
+    fn next_event_tick(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupancy[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let base = self.now_tick >> shift;
+            let cursor = base & SLOT_MASK;
+            let mut bits = occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                // Slot at or behind the cursor belongs to the next wrap
+                // of this level's window.
+                let window = if slot > cursor {
+                    (base & !SLOT_MASK) | slot
+                } else {
+                    ((base & !SLOT_MASK) + SLOTS as u64) | slot
+                };
+                let tick = window << shift;
+                best = Some(best.map_or(tick, |b: u64| b.min(tick)));
+            }
+        }
+        best
+    }
+
+    /// Advance the wheel to `now` (rounded down to a tick) and return
+    /// every expired payload, sorted by (deadline, arm order).
+    pub fn advance(&mut self, now: Instant) -> Vec<T> {
+        let target = self.tick_floor(now);
+        let mut fired: Vec<(u64, u64, T)> = Vec::new();
+        while self.now_tick < target {
+            match self.next_event_tick() {
+                Some(tick) if tick <= target => {
+                    self.now_tick = tick;
+                    self.process_tick(&mut fired);
+                }
+                _ => {
+                    self.now_tick = target;
+                    break;
+                }
+            }
+        }
+        fired.sort_by_key(|&(tick, epoch, _)| (tick, epoch));
+        fired.into_iter().map(|(_, _, payload)| payload).collect()
+    }
+
+    /// Cascade every level whose window boundary is the current tick
+    /// (top down), then fire the current tick's level-0 slot.
+    fn process_tick(&mut self, fired: &mut Vec<(u64, u64, T)>) {
+        let tick = self.now_tick;
+        for level in (1..LEVELS).rev() {
+            let shift = SLOT_BITS * level as u32;
+            if tick & ((1 << shift) - 1) != 0 {
+                continue; // not a window boundary for this level
+            }
+            let slot = ((tick >> shift) & SLOT_MASK) as usize;
+            if self.occupancy[level] & (1 << slot) == 0 {
+                continue;
+            }
+            let moved = std::mem::take(&mut self.slots[level][slot]);
+            self.occupancy[level] &= !(1 << slot);
+            for (index, epoch) in moved {
+                let entry = &self.entries[index as usize];
+                let Some(armed) = entry.armed.as_ref() else {
+                    continue; // cancelled; slab slot already freed
+                };
+                if armed.epoch != epoch {
+                    continue; // cancelled and slab slot reused
+                }
+                let entry_tick = armed.tick;
+                debug_assert!(entry_tick >= tick);
+                self.cascades += 1;
+                self.place(index, epoch, entry_tick);
+            }
+        }
+        let slot = (tick & SLOT_MASK) as usize;
+        if self.occupancy[0] & (1 << slot) == 0 {
+            return;
+        }
+        let drained = std::mem::take(&mut self.slots[0][slot]);
+        self.occupancy[0] &= !(1 << slot);
+        for (index, epoch) in drained {
+            let entry = &mut self.entries[index as usize];
+            let live = entry.armed.as_ref().is_some_and(|a| a.epoch == epoch);
+            if !live {
+                continue;
+            }
+            let armed = entry.armed.take().unwrap();
+            debug_assert_eq!(armed.tick, tick, "level-0 slot held a future timer");
+            entry.generation = entry.generation.wrapping_add(1);
+            self.free.push(index);
+            self.armed -= 1;
+            fired.push((armed.tick, armed.epoch, armed.payload));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.arm(t0 + ms(10), "a");
+        assert!(w.advance(t0 + ms(9)).is_empty());
+        assert_eq!(w.advance(t0 + ms(10)), vec!["a"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sub_tick_deadline_rounds_up_one_tick() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // A deadline in the past (or now) still waits out one full tick.
+        w.arm(t0, "p");
+        assert!(w.advance(t0).is_empty());
+        assert_eq!(w.advance(t0 + ms(1)), vec!["p"]);
+    }
+
+    #[test]
+    fn cancel_prevents_fire_and_is_idempotent() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let id = w.arm(t0 + ms(5), 1u32);
+        assert_eq!(w.cancel(id), Some(1));
+        assert_eq!(w.cancel(id), None, "double cancel is a no-op");
+        assert!(w.advance(t0 + ms(100)).is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_a_reused_slot() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let id = w.arm(t0 + ms(5), "old");
+        assert_eq!(w.cancel(id), Some("old"));
+        let _new = w.arm(t0 + ms(7), "new"); // reuses the slab slot
+        assert_eq!(w.cancel(id), None, "stale id must not hit the new timer");
+        assert_eq!(w.advance(t0 + ms(7)), vec!["new"]);
+    }
+
+    #[test]
+    fn cascade_counter_counts_demotions() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // 100 ticks out: level 1 at arm, cascades to level 0 at the
+        // 64-tick boundary, fires at 100.
+        w.arm(t0 + ms(100), ());
+        assert!(w.advance(t0 + ms(99)).is_empty());
+        assert!(w.cascades() >= 1, "level-1 timer never cascaded");
+        assert_eq!(w.advance(t0 + ms(100)).len(), 1);
+    }
+
+    #[test]
+    fn far_future_deadline_clamps_to_horizon() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let id = w.arm(t0 + Duration::from_secs(3600 * 24 * 30), "far");
+        assert_eq!(w.len(), 1);
+        // It must not fire inside the addressable horizon...
+        assert!(w.advance(t0 + ms(MAX_TICKS - 2)).is_empty());
+        // ...and must still be cancellable after all that advancing.
+        assert_eq!(w.cancel(id), Some("far"));
+    }
+
+    #[test]
+    fn next_wake_tracks_earliest_timer() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        assert_eq!(w.next_wake(), None);
+        w.arm(t0 + ms(500), "late");
+        let id = w.arm(t0 + ms(20), "early");
+        let wake = w.next_wake().unwrap();
+        assert!(wake <= t0 + ms(20), "wake after the earliest deadline");
+        assert!(wake > t0, "wake not in the future");
+        w.cancel(id);
+        // Lazy cancel may leave the early slot occupied; the wake must
+        // never be later than the earliest *live* timer.
+        assert!(w.next_wake().unwrap() <= t0 + ms(500));
+    }
+}

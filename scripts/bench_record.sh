@@ -19,6 +19,12 @@
 # (vs 16 standalone), cross-server completion batching factor > 1, and
 # 8v4 shaped scaling holds PR 4's 1.5x floor on the shared loop.
 #
+# BENCH_pr6.json — `linerate_record`: line-rate efficiency of the
+# finished reactor (timer wheel, in-loop connects, one-copy writes) at
+# 16 bandwidth-capped servers, 1 vs 2 reactor threads. Bars: the better
+# config moves >= 90% of the aggregate shaped cap in both directions,
+# and the thread census reads exactly 1 and 2 loops.
+#
 # Each binary exits non-zero if a bar is missed, failing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,5 +44,11 @@ grep -o '"acceptance": .*' "$out"
 out="BENCH_pr5.json"
 echo "==> cargo run --release -p memfs-bench --bin reactor_record"
 cargo run --release -p memfs-bench --bin reactor_record > "$out"
+echo "==> wrote $out"
+grep -o '"acceptance": .*' "$out"
+
+out="BENCH_pr6.json"
+echo "==> cargo run --release -p memfs-bench --bin linerate_record"
+cargo run --release -p memfs-bench --bin linerate_record > "$out"
 echo "==> wrote $out"
 grep -o '"acceptance": .*' "$out"

@@ -2,6 +2,7 @@
 # Repo verification gate: build, tests, formatting, lints.
 #
 #   scripts/verify.sh            # tier-1 gate + fmt + clippy
+#   scripts/verify.sh --clippy   # fast path: fmt + clippy only, no build/tests
 #   scripts/verify.sh --full     # additionally run the full workspace test suite
 #   scripts/verify.sh --threads  # additionally stress the concurrency tests
 #   scripts/verify.sh --soak     # shaped-cluster suites, N random seeds
@@ -25,6 +26,18 @@
 # MEMFS_SHAPE_SEED to replay a failure deterministically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Fast path: lints across every target (lib, tests, benches, bins)
+# without paying for the release build or the test run. Keeps the
+# edit-lint loop tight; the default gate still runs everything.
+if [[ "${1:-}" == "--clippy" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "verify: OK (clippy fast path)"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release

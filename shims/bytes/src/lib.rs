@@ -86,6 +86,25 @@ impl Bytes {
         }
     }
 
+    /// Split off and return the first `at` bytes as their own view,
+    /// advancing this buffer past them. O(1): both halves share the same
+    /// backing storage (matching the real crate's `split_to`).
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..at);
+        match &mut self.inner {
+            Inner::Static(s) => *s = &s[at..],
+            Inner::Shared { off, len, .. } => {
+                *off += at;
+                *len -= at;
+            }
+        }
+        head
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.inner {
             Inner::Static(s) => s,
@@ -325,6 +344,27 @@ mod tests {
         let taken = m.split();
         assert!(m.is_empty());
         assert_eq!(taken.freeze().as_ref(), b"abcd");
+    }
+
+    #[test]
+    fn split_to_shares_storage_and_advances() {
+        let mut b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let head = b.split_to(30);
+        assert_eq!(head.len(), 30);
+        assert_eq!(b.len(), 70);
+        assert_eq!(head[0], 0);
+        assert_eq!(b[0], 30);
+        if let (Inner::Shared { buf: a, .. }, Inner::Shared { buf: d, .. }) =
+            (&head.inner, &b.inner)
+        {
+            assert!(Arc::ptr_eq(a, d), "split_to must not copy");
+        } else {
+            panic!("expected shared buffers");
+        }
+        // Static views split too.
+        let mut s = Bytes::from_static(b"hello world");
+        assert_eq!(s.split_to(5).as_ref(), b"hello");
+        assert_eq!(s.as_ref(), b" world");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Offline stand-in for `libc`.
 //!
 //! Declares exactly the Linux syscall surface the memkv evented transport
-//! needs — epoll for readiness notification and eventfd for cross-thread
-//! wakeups — with the kernel ABI types and constants those calls take.
-//! The symbols resolve against the system C library every Rust binary
-//! already links; no C code is vendored.
+//! needs — epoll for readiness notification, eventfd for cross-thread
+//! wakeups, and non-blocking stream sockets for in-loop connects — with
+//! the kernel ABI types and constants those calls take. The symbols
+//! resolve against the system C library every Rust binary already links;
+//! no C code is vendored.
 
 #![allow(non_camel_case_types)]
 
@@ -13,6 +14,8 @@ pub type c_uint = u32;
 pub type c_void = core::ffi::c_void;
 pub type size_t = usize;
 pub type ssize_t = isize;
+pub type socklen_t = u32;
+pub type sa_family_t = u16;
 
 /// One epoll readiness record. The kernel packs this struct on x86-64
 /// (a 12-byte layout); other architectures use natural alignment.
@@ -38,6 +41,61 @@ pub const EPOLL_CLOEXEC: c_int = 0x80000;
 pub const EFD_CLOEXEC: c_int = 0x80000;
 pub const EFD_NONBLOCK: c_int = 0x800;
 
+pub const AF_INET: c_int = 2;
+pub const AF_INET6: c_int = 10;
+pub const SOCK_STREAM: c_int = 1;
+pub const SOCK_NONBLOCK: c_int = 0o4000;
+pub const SOCK_CLOEXEC: c_int = 0x80000;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_ERROR: c_int = 4;
+pub const IPPROTO_TCP: c_int = 6;
+pub const TCP_NODELAY: c_int = 1;
+pub const EINPROGRESS: c_int = 115;
+pub const EINTR: c_int = 4;
+
+/// IPv4 address, network byte order (kernel `struct in_addr`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct in_addr {
+    pub s_addr: u32,
+}
+
+/// `struct sockaddr_in` — IPv4 socket address; `sin_port` is big-endian.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: sa_family_t,
+    pub sin_port: u16,
+    pub sin_addr: in_addr,
+    pub sin_zero: [u8; 8],
+}
+
+/// IPv6 address (kernel `struct in6_addr`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct in6_addr {
+    pub s6_addr: [u8; 16],
+}
+
+/// `struct sockaddr_in6` — IPv6 socket address; `sin6_port` is big-endian.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in6 {
+    pub sin6_family: sa_family_t,
+    pub sin6_port: u16,
+    pub sin6_flowinfo: u32,
+    pub sin6_addr: in6_addr,
+    pub sin6_scope_id: u32,
+}
+
+/// Generic socket address header, for casting in `connect`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr {
+    pub sa_family: sa_family_t,
+    pub sa_data: [u8; 14],
+}
+
 extern "C" {
     pub fn epoll_create1(flags: c_int) -> c_int;
     pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
@@ -51,6 +109,22 @@ extern "C" {
     pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
     pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
     pub fn close(fd: c_int) -> c_int;
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn connect(sockfd: c_int, addr: *const sockaddr, addrlen: socklen_t) -> c_int;
+    pub fn getsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut socklen_t,
+    ) -> c_int;
+    pub fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
 }
 
 #[cfg(test)]
@@ -92,6 +166,60 @@ mod tests {
 
             assert_eq!(close(ev), 0);
             assert_eq!(close(ep), 0);
+        }
+    }
+
+    #[test]
+    fn nonblocking_connect_reports_einprogress_then_success() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+            assert!(fd >= 0);
+            let addr = sockaddr_in {
+                sin_family: AF_INET as sa_family_t,
+                sin_port: port.to_be(),
+                sin_addr: in_addr {
+                    s_addr: u32::from_ne_bytes([127, 0, 0, 1]),
+                },
+                sin_zero: [0; 8],
+            };
+            let rc = connect(
+                fd,
+                (&addr as *const sockaddr_in).cast(),
+                core::mem::size_of::<sockaddr_in>() as socklen_t,
+            );
+            if rc != 0 {
+                assert_eq!(
+                    std::io::Error::last_os_error().raw_os_error(),
+                    Some(EINPROGRESS)
+                );
+            }
+            // Loopback connects resolve almost immediately; poll SO_ERROR.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                let mut err: c_int = -1;
+                let mut len = core::mem::size_of::<c_int>() as socklen_t;
+                assert_eq!(
+                    getsockopt(
+                        fd,
+                        SOL_SOCKET,
+                        SO_ERROR,
+                        (&mut err as *mut c_int).cast(),
+                        &mut len
+                    ),
+                    0
+                );
+                if err == 0 {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "connect never resolved: {err}"
+                );
+                std::thread::yield_now();
+            }
+            assert_eq!(close(fd), 0);
         }
     }
 }

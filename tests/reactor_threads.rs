@@ -14,15 +14,28 @@ use memfs::memfs_core::{MemFs, MemFsConfig};
 use memfs::memkv::net::{KvServer, PoolConfig, TcpClient};
 use memfs::memkv::{KvClient, ReactorHandle, Store, StoreConfig};
 
-/// Live threads of this process whose name starts with `memkv-reactor`
-/// (`comm` truncates at 15 chars; the reconnect helpers are named
-/// `memkv-reconnect`, which the prefix does not match).
-fn reactor_threads() -> usize {
+/// Live threads of this process whose name starts with `prefix`
+/// (`comm` truncates at 15 chars, so prefixes must fit in that).
+fn named_threads(prefix: &str) -> usize {
     std::fs::read_dir("/proc/self/task")
         .unwrap()
         .filter_map(|e| std::fs::read_to_string(e.unwrap().path().join("comm")).ok())
-        .filter(|name| name.trim_end().starts_with("memkv-reactor"))
+        .filter(|name| name.trim_end().starts_with(prefix))
         .count()
+}
+
+/// Reactor loops: `memkv-reactor` for a lone loop, `memkv-reactor/N`
+/// for a sharded set — the prefix matches both, and does not match the
+/// retired `memkv-reconnect` helper name.
+fn reactor_threads() -> usize {
+    named_threads("memkv-reactor")
+}
+
+/// The old transport spawned a short-lived `memkv-reconnect` thread per
+/// reconnect attempt. Connects now run inside the loop, so this census
+/// must stay at zero forever, including under reconnect pressure.
+fn reconnect_threads() -> usize {
+    named_threads("memkv-reconnec")
 }
 
 /// A spawned reactor names itself when it starts running, so poll briefly
@@ -92,12 +105,45 @@ fn sixteen_server_mount_runs_one_reactor_thread() {
 
     // `MemFs::connect` wires the same shape end to end: the mount owns
     // the handle, so dropping the mount tears the reactor down too.
-    let fs = MemFs::connect(&addrs, config).unwrap();
+    let fs = MemFs::connect(&addrs, config.clone()).unwrap();
     expect_reactor_threads(1, "MemFs::connect mounts on one shared reactor");
     fs.write_file("/again", &data).unwrap();
     assert_eq!(fs.read_to_vec("/again").unwrap(), data);
     drop(fs);
     expect_reactor_threads(0, "unmounting joins the mount's reactor");
+
+    // `reactor_threads = 2` shards the 16 servers across two real loops:
+    // exactly two reactor threads, still zero per-connection ones.
+    let two_loops = MemFsConfig {
+        reactor_threads: 2,
+        ..config
+    };
+    let fs = MemFs::connect(&addrs, two_loops).unwrap();
+    expect_reactor_threads(2, "reactor_threads=2 mounts exactly two loops");
+    fs.write_file("/two-loops", &data).unwrap();
+    assert_eq!(fs.read_to_vec("/two-loops").unwrap(), data);
+    expect_reactor_threads(2, "sharded traffic must not spawn more loops");
+    assert_eq!(
+        reconnect_threads(),
+        0,
+        "clean traffic spawned a reconnect thread"
+    );
+
+    // Reconnect pressure: kill a server and keep submitting. The loop
+    // absorbs every reconnect attempt itself — the per-attempt
+    // `memkv-reconnect` helper thread must never reappear.
+    servers[0].shutdown();
+    for _ in 0..6 {
+        let _ = fs.read_to_vec("/two-loops");
+        assert_eq!(
+            reconnect_threads(),
+            0,
+            "reconnect pressure spawned a helper thread"
+        );
+    }
+    expect_reactor_threads(2, "reconnect pressure must not change the loop census");
+    drop(fs);
+    expect_reactor_threads(0, "unmounting joins both sharded reactors");
 
     for s in &mut servers {
         s.shutdown();

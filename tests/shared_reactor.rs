@@ -5,13 +5,14 @@
 //! wakeups, cross-server completion batches, registered connections,
 //! timeouts, reconnects.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use memfs::memfs_core::{DistributorKind, MemFsError, ServerPool};
-use memfs::memkv::net::PoolConfig;
-use memfs::memkv::testutil::{Shape, ShapedCluster};
-use memfs::memkv::KvError;
+use memfs::memkv::net::{KvServer, PoolConfig, TcpClient};
+use memfs::memkv::testutil::{Shape, ShapedCluster, ShapedProxy};
+use memfs::memkv::{KvClient, KvError, ReactorHandle, Store, StoreConfig};
 
 const N: usize = 8;
 
@@ -97,6 +98,20 @@ fn stalled_server_is_isolated_and_counted_by_the_shared_loop() {
         "batch count out of range: {after:?}"
     );
     assert!(after.timeouts >= 1, "deadline wheel never fired: {after:?}");
+    // The 400 ms deadline lives above the wheel's 64-tick level-0 span,
+    // so firing it requires at least one cascade down the hierarchy.
+    assert!(
+        after.timer_cascades >= 1,
+        "a 400ms deadline must cascade before firing: {after:?}"
+    );
+    assert!(
+        after.bytes_tx >= (N * payload.len()) as u64,
+        "tx byte counter missed the warm-up writes: {after:?}"
+    );
+    assert!(
+        after.bytes_rx >= (N * payload.len()) as u64,
+        "rx byte counter missed the warm-up reads: {after:?}"
+    );
 
     // Recovery: once the stall clears, the loop reconnects the poisoned
     // connections and the stalled server's keys come back.
@@ -128,6 +143,10 @@ fn stalled_server_is_isolated_and_counted_by_the_shared_loop() {
         recovered.registered_connections,
         N * config.connections,
         "reconnects must not leak or drop registrations"
+    );
+    assert_eq!(
+        recovered.connects_in_flight, 0,
+        "settled mount must not report dangling connect attempts: {recovered:?}"
     );
 }
 
@@ -213,4 +232,79 @@ fn clean_traffic_reports_consistent_reactor_counters() {
     );
     assert_eq!(s.timeouts, 0, "clean traffic must not time out");
     assert_eq!(s.reconnects, 0, "clean traffic must not reconnect");
+    assert_eq!(
+        s.connects_in_flight, 0,
+        "clean traffic leaves no connects pending"
+    );
+    // 64 × 4 KiB values moved each way, plus framing.
+    assert!(
+        s.bytes_tx >= 64 * 4096,
+        "tx bytes under the payload floor: {s:?}"
+    );
+    assert!(
+        s.bytes_rx >= 64 * 4096,
+        "rx bytes under the payload floor: {s:?}"
+    );
+}
+
+/// Regression for the reconnect path: with connects running inside the
+/// loop, a server whose listener is *gone* (hard `ECONNREFUSED`, not an
+/// accept-then-EOF) must fail each request promptly while exponential
+/// backoff keeps the loop from hammering connect attempts or spinning
+/// hot. The old implementation spawned a `memkv-reconnect` thread per
+/// attempt and could error out of the spawn itself under pressure.
+#[test]
+fn connect_refused_storm_surfaces_errors_and_backs_off() {
+    let server = KvServer::spawn(Arc::new(Store::new(StoreConfig::default())), "127.0.0.1:0")
+        .expect("bind storage server");
+    let proxy = ShapedProxy::spawn(server.addr(), Shape::clean());
+    let reactor = ReactorHandle::new().expect("spawn reactor");
+    let config = PoolConfig {
+        timeout: Duration::from_millis(150),
+        connections: 1,
+        ..PoolConfig::default()
+    };
+    let client =
+        TcpClient::connect_shared(proxy.addr(), config, &reactor).expect("connect through proxy");
+    let key = Bytes::from_static(b"storm");
+    client.set(&key, Bytes::from_static(b"v")).unwrap();
+    assert_eq!(client.get(&key).unwrap(), Bytes::from_static(b"v"));
+
+    // Dropping the proxy closes its listener and severs the live
+    // connection: every reconnect from here on is refused outright.
+    let before = reactor.stats();
+    drop(proxy);
+
+    const STORM: usize = 30;
+    let start = Instant::now();
+    for i in 0..STORM {
+        let got = client.get(&key);
+        assert!(got.is_err(), "request {i} silently succeeded: {got:?}");
+    }
+    let elapsed = start.elapsed();
+    // Each request must fail on its own (timeout or refused connect),
+    // not queue behind a wedged reconnect loop.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "refused storm serialized the loop: {elapsed:?}"
+    );
+
+    let after = reactor.stats();
+    let attempts = after.reconnects - before.reconnects;
+    assert!(attempts >= 1, "no reconnect was ever attempted: {after:?}");
+    assert!(
+        attempts < STORM as u64,
+        "backoff failed: {attempts} connect attempts for {STORM} requests"
+    );
+    assert_eq!(
+        after.connects_in_flight, 0,
+        "refused connects must be torn down: {after:?}"
+    );
+    // A hot-spinning loop would rack up orders of magnitude more wakeups
+    // than the handful each request needs (submit, timer, connect event).
+    let wakeups = after.wakeups - before.wakeups;
+    assert!(
+        wakeups < 20_000,
+        "loop ran hot during backoff: {wakeups} wakeups for {STORM} requests"
+    );
 }

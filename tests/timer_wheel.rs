@@ -1,0 +1,149 @@
+//! The shared reactor's hierarchical timer wheel
+//! ([`memfs::memkv::wheel::TimerWheel`]): cascade-boundary edge cases
+//! and a randomized oracle check. The wheel replaced the reactor's
+//! linear deadline scan, so its expiry behavior *is* the transport's
+//! timeout behavior — never early, never lost, deterministic order.
+
+use std::time::{Duration, Instant};
+
+use memfs::memkv::testutil::{seed_from_env, Rng};
+use memfs::memkv::wheel::TimerWheel;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+#[test]
+fn deadline_exactly_on_a_level_edge_fires_at_its_tick() {
+    // 64 = level-1 window boundary, 4096 = level-2, 262144 = level-3.
+    // Cascading runs before the same tick's level-0 slot fires, so an
+    // edge deadline is delivered at its tick, not a window late.
+    for edge in [64u64, 128, 4096, 8192, 262_144] {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.arm(t0 + ms(edge), edge);
+        assert!(
+            w.advance(t0 + ms(edge - 1)).is_empty(),
+            "edge {edge} fired a tick early"
+        );
+        assert_eq!(
+            w.advance(t0 + ms(edge)),
+            vec![edge],
+            "edge {edge} missed its own tick"
+        );
+        assert!(w.is_empty());
+    }
+}
+
+#[test]
+fn neighbors_of_an_edge_keep_their_order() {
+    let t0 = Instant::now();
+    let mut w = TimerWheel::new(t0);
+    w.arm(t0 + ms(4095), 4095u64);
+    w.arm(t0 + ms(4097), 4097u64);
+    w.arm(t0 + ms(4096), 4096u64);
+    assert_eq!(w.advance(t0 + ms(5000)), vec![4095, 4096, 4097]);
+}
+
+#[test]
+fn far_future_deadline_neither_fires_early_nor_leaks() {
+    let t0 = Instant::now();
+    let mut w = TimerWheel::new(t0);
+    // Way past the ~4.66 h horizon: clamps, never fires inside it.
+    let id = w.arm(t0 + Duration::from_secs(60 * 60 * 24), ());
+    assert!(w.advance(t0 + Duration::from_secs(3600)).is_empty());
+    assert_eq!(w.len(), 1);
+    assert_eq!(w.cancel(id), Some(()));
+    assert!(w.is_empty());
+}
+
+#[test]
+fn cancel_then_reinsert_uses_the_new_deadline() {
+    let t0 = Instant::now();
+    let mut w = TimerWheel::new(t0);
+    let id = w.arm(t0 + ms(500), "old");
+    assert_eq!(w.cancel(id), Some("old"));
+    // Reinsert (reusing the freed slab slot) with an earlier deadline.
+    let id2 = w.arm(t0 + ms(10), "new");
+    assert_eq!(w.advance(t0 + ms(10)), vec!["new"]);
+    // Both ids are now stale; neither cancels anything.
+    assert_eq!(w.cancel(id), None);
+    assert_eq!(w.cancel(id2), None);
+    // And nothing ghost-fires at the old deadline.
+    assert!(w.advance(t0 + ms(600)).is_empty());
+}
+
+#[test]
+fn cancelled_timer_in_a_shared_slot_does_not_block_siblings() {
+    let t0 = Instant::now();
+    let mut w = TimerWheel::new(t0);
+    // Same tick, three timers; cancel the middle one.
+    let _a = w.arm(t0 + ms(100), 1u32);
+    let b = w.arm(t0 + ms(100), 2u32);
+    let _c = w.arm(t0 + ms(100), 3u32);
+    assert_eq!(w.cancel(b), Some(2));
+    assert_eq!(w.advance(t0 + ms(100)), vec![1, 3]);
+}
+
+/// Randomized arm/cancel/advance against a sorted-vec oracle: the wheel
+/// must fire exactly the oracle's due set, in (deadline, arm order).
+#[test]
+fn expiry_order_matches_sorted_vec_oracle() {
+    let seed = seed_from_env();
+    eprintln!("timer_wheel oracle seed: {seed} (set MEMFS_SHAPE_SEED to reproduce)");
+    let mut rng = Rng::new(seed);
+
+    let t0 = Instant::now();
+    let mut wheel = TimerWheel::new(t0);
+    // Oracle rows: (effective tick, arm sequence, wheel id).
+    let mut oracle: Vec<(u64, u64, memfs::memkv::wheel::TimerId)> = Vec::new();
+    let mut now_ms: u64 = 0;
+    let mut seq: u64 = 0;
+
+    for _ in 0..2_000 {
+        match rng.next_u64() % 100 {
+            // Arm with a delay spanning all wheel levels.
+            0..=59 => {
+                let delay = 1 + rng.next_u64() % 9_000;
+                let deadline_ms = now_ms + delay;
+                let id = wheel.arm(t0 + ms(deadline_ms), seq);
+                // The wheel clamps to at least one tick out; replicate.
+                oracle.push((deadline_ms.max(now_ms + 1), seq, id));
+                seq += 1;
+            }
+            // Cancel a random live timer.
+            60..=79 => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let pick = (rng.next_u64() % oracle.len() as u64) as usize;
+                let (_, payload, id) = oracle.swap_remove(pick);
+                assert_eq!(wheel.cancel(id), Some(payload), "live cancel failed");
+            }
+            // Advance and compare the due set, order included.
+            _ => {
+                now_ms += 1 + rng.next_u64() % 400;
+                let fired = wheel.advance(t0 + ms(now_ms));
+                let mut due: Vec<(u64, u64)> = oracle
+                    .iter()
+                    .filter(|(tick, _, _)| *tick <= now_ms)
+                    .map(|(tick, payload, _)| (*tick, *payload))
+                    .collect();
+                due.sort_unstable();
+                oracle.retain(|(tick, _, _)| *tick > now_ms);
+                let expected: Vec<u64> = due.into_iter().map(|(_, p)| p).collect();
+                assert_eq!(
+                    fired, expected,
+                    "wheel expiry diverged from oracle at t={now_ms}ms (seed {seed})"
+                );
+            }
+        }
+        assert_eq!(wheel.len(), oracle.len(), "armed-count drift (seed {seed})");
+    }
+
+    // Drain: everything still armed must fire exactly once.
+    now_ms += 10_000;
+    let fired = wheel.advance(t0 + ms(now_ms));
+    assert_eq!(fired.len(), oracle.len(), "drain lost timers (seed {seed})");
+    assert!(wheel.is_empty());
+}
